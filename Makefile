@@ -1,0 +1,36 @@
+# Convenience targets for the cadinterop reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench rows examples checklist all clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate the experiment rows recorded in EXPERIMENTS.md.
+rows:
+	$(PYTHON) -m pytest benchmarks/ -s --benchmark-disable
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/exar_migration.py
+	$(PYTHON) examples/simulator_portability.py
+	$(PYTHON) examples/pnr_backplane.py
+	$(PYTHON) examples/tapeout_workflow.py
+	$(PYTHON) examples/methodology_audit.py
+	$(PYTHON) examples/rtl_to_layout.py
+
+checklist:
+	$(PYTHON) -m cadinterop.cli checklist --scenario full-asic
+
+all: test bench examples
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
+	rm -rf .pytest_cache .hypothesis

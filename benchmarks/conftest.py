@@ -1,0 +1,22 @@
+"""Shared fixtures for the experiment benchmarks (see EXPERIMENTS.md)."""
+
+import pytest
+
+from cadinterop.pnr.samples import build_cell_library, build_floorplan
+from cadinterop.pnr.tech import generic_two_layer_tech
+from cadinterop.schematic.samples import build_vl_libraries
+
+
+@pytest.fixture(scope="session")
+def vl_libraries():
+    return build_vl_libraries()
+
+
+@pytest.fixture(scope="session")
+def pnr_tech():
+    return generic_two_layer_tech()
+
+
+@pytest.fixture(scope="session")
+def pnr_library():
+    return build_cell_library()

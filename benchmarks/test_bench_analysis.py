@@ -1,0 +1,114 @@
+"""E14 — classic-problem detection and optimization lever deltas.
+
+Paper Section 6: the flow analysis "clearly identifies the classic
+interoperability problems (performance, name mapping, structure mapping,
+semantic interpretation errors, and tool control)", and three optimization
+levers improve the system.  Regenerated rows: finding counts per problem
+class on the modelled environment, and the measured before/after deltas of
+each lever.
+"""
+
+import pytest
+
+from cadinterop.core import (
+    analyze_environment,
+    apply_conventions,
+    cell_based_methodology,
+    measure_lever,
+    repartition_boundary,
+    standard_scenarios,
+    standard_tool_catalog,
+    substitute_technology,
+    task,
+)
+from cadinterop.core.analysis import Finding
+
+
+@pytest.fixture(scope="module")
+def environment():
+    return cell_based_methodology(), standard_tool_catalog()
+
+
+class TestClassicProblemRows:
+    def test_all_five_detected(self, environment):
+        graph, catalog = environment
+        analysis = analyze_environment(graph, catalog, standard_scenarios()[0])
+        counts = analysis.report.problem_counts()
+        print(f"\nE14 classic-problem rows (full-asic): {counts}")
+        for problem in Finding.PROBLEMS:
+            assert counts[problem] > 0, problem
+
+    def test_holes_and_overlap_rows(self, environment):
+        graph, catalog = environment
+        analysis = analyze_environment(graph, catalog, standard_scenarios()[0])
+        rows = {
+            "holes": len(analysis.mapping.holes),
+            "coverage": round(analysis.mapping.coverage_ratio(), 2),
+        }
+        print(f"E14 mapping rows: {rows}")
+        assert rows["holes"] > 0  # the modelled environment is incomplete
+
+    def test_scenario_findings_scale_with_size(self, environment):
+        graph, catalog = environment
+        scenarios = standard_scenarios()
+        findings = {
+            s.name: len(analyze_environment(graph, catalog, s).report.findings)
+            for s in scenarios
+        }
+        print(f"E14 findings per scenario: {findings}")
+        assert findings["netlist-handoff"] <= findings["full-asic"]
+
+
+class TestOptimizationRows:
+    def test_lever_deltas(self, environment):
+        graph, catalog = environment
+
+        repartitioned = repartition_boundary(
+            catalog, "rtl-editor", "race-analyzer", "rtl-top"
+        )
+        delta1 = measure_lever("repartition", "rtl-editor->race-analyzer",
+                               graph, catalog, graph, repartitioned)
+
+        conventions = apply_conventions(catalog, namespace="project-names")
+        delta2 = measure_lever("conventions", "naming convention",
+                               graph, catalog, graph, conventions)
+
+        replacement = task(
+            "formal-regression", "formal replaces gate/timing sims",
+            ["rtl-top", "gate-netlist", "testbench"],
+            ["gate-sim-results", "timing-sim-results"],
+            phase="verification", kind="validation",
+        )
+        substituted = substitute_technology(
+            graph, ["run-gate-sims", "run-timing-sims"], replacement
+        )
+        delta3 = measure_lever("technology", "formal substitution",
+                               graph, catalog, substituted, catalog)
+
+        rows = {
+            d.lever: {
+                "findings": f"{d.findings_before}->{d.findings_after}",
+                "cost": f"{d.cost_before:.0f}->{d.cost_after:.0f}",
+                "improved": d.improved,
+            }
+            for d in (delta1, delta2, delta3)
+        }
+        print(f"\nE14 optimization rows: {rows}")
+        assert delta1.improved
+        assert delta2.improved
+        # The technology lever shrinks the graph; it must not add problems.
+        assert delta3.findings_after <= delta3.findings_before
+
+
+class TestAnalysisPerformance:
+    def test_bench_full_environment_analysis(self, benchmark, environment):
+        graph, catalog = environment
+        scenario = standard_scenarios()[0]
+        analysis = benchmark(lambda: analyze_environment(graph, catalog, scenario))
+        benchmark.extra_info["findings"] = len(analysis.report.findings)
+
+    def test_bench_smallest_scenario(self, benchmark, environment):
+        graph, catalog = environment
+        scenario = standard_scenarios()[1]
+        analysis = benchmark(lambda: analyze_environment(graph, catalog, scenario))
+        assert analysis.pruning.tasks_after < 100

@@ -1,0 +1,80 @@
+"""E3 — bus syntax translation coverage matrix.
+
+Paper Section 2 bus rules: condensed references expand to explicit ones,
+postfix indicators fold into names, explicit forms pass through.
+Regenerated rows: translation outcome per syntax class, plus throughput of
+the translator on a large label population.
+"""
+
+import pytest
+
+from cadinterop.schematic.busnotation import (
+    COMPOSER_BUS_SYNTAX,
+    VIEWDRAW_BUS_SYNTAX,
+    declared_buses_of,
+    translate_net_name,
+)
+
+DECLARED = {"A": (0, 15), "DATA": (31, 0)}
+
+CASES = {
+    "scalar": ("clk", "clk"),
+    "explicit-bit": ("A<3>", "A<3>"),
+    "explicit-range": ("DATA<31:0>", "DATA<31:0>"),
+    "condensed-bit": ("A7", "A<7>"),
+    "condensed-nonbus": ("B7", "B7"),          # B is not declared: scalar
+    "postfix-scalar": ("reset-", "reset_n"),
+    "postfix-bus": ("myBus<0:15>-", "myBus_n<0:15>"),
+}
+
+
+class TestCoverageMatrix:
+    def test_all_syntax_classes_translate(self):
+        rows = {}
+        for label, (source, expected) in CASES.items():
+            translated, _rules = translate_net_name(
+                source, VIEWDRAW_BUS_SYNTAX, COMPOSER_BUS_SYNTAX, DECLARED
+            )
+            rows[label] = (source, translated)
+            assert translated == expected, label
+        print(f"\nE3 rows: {rows}")
+
+    def test_translated_labels_legal_in_target(self):
+        for source, expected in CASES.values():
+            ref = COMPOSER_BUS_SYNTAX.parse(expected)
+            assert COMPOSER_BUS_SYNTAX.format(ref) == expected
+
+
+class TestTranslationThroughput:
+    def labels(self, count=2000):
+        population = []
+        for index in range(count):
+            kind = index % 4
+            if kind == 0:
+                population.append(f"net{index}")
+            elif kind == 1:
+                population.append(f"A{index % 16}")
+            elif kind == 2:
+                population.append(f"bus{index}<7:0>")
+            else:
+                population.append(f"sig{index}-")
+        return population
+
+    def test_bench_label_translation(self, benchmark):
+        labels = self.labels()
+
+        def run():
+            return [
+                translate_net_name(
+                    label, VIEWDRAW_BUS_SYNTAX, COMPOSER_BUS_SYNTAX, DECLARED
+                )[0]
+                for label in labels
+            ]
+
+        translated = benchmark(run)
+        assert len(translated) == len(labels)
+
+    def test_bench_declaration_scan(self, benchmark):
+        labels = self.labels(5000)
+        declared = benchmark(lambda: declared_buses_of(labels, VIEWDRAW_BUS_SYNTAX))
+        assert declared  # the bus labels were found

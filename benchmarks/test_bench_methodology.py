@@ -1,0 +1,70 @@
+"""E13 — the ~200-task methodology and scenario pruning ratios.
+
+Paper Section 6: "approximately 200 tasks to describe a cell based design
+methodology that spans from product specification to final mask tapeout";
+scenarios "prune the task graph, and reduce the number of interactions".
+Regenerated rows: the task count, graph statistics, and per-scenario
+pruning ratios.
+"""
+
+import pytest
+
+from cadinterop.core.library import cell_based_methodology, standard_scenarios
+from cadinterop.core.scenarios import prune_report
+
+
+class TestMethodologyRows:
+    def test_task_count_row(self):
+        graph = cell_based_methodology()
+        stats = graph.stats()
+        print(f"\nE13 graph stats: {stats}")
+        # "approximately 200 tasks"
+        assert 190 <= stats["tasks"] <= 210
+        assert stats["phases"] >= 14
+        assert stats["edges"] > stats["tasks"]  # richer than a linear flow
+
+    def test_span_row(self):
+        graph = cell_based_methodology()
+        needed = graph.backward_closure(["final-mask-data"])
+        print(f"E13 spec->tapeout closure: {len(needed)} tasks")
+        assert "write-product-spec" in needed
+
+    def test_pruning_rows(self):
+        graph = cell_based_methodology()
+        rows = {}
+        for scenario in standard_scenarios():
+            _pruned, report = prune_report(graph, scenario)
+            rows[scenario.name] = {
+                "tasks": f"{report.tasks_after}/{report.tasks_before}",
+                "task_reduction": round(report.task_reduction, 2),
+                "interaction_reduction": round(report.interaction_reduction, 2),
+            }
+        print(f"E13 pruning rows: {rows}")
+        for row in rows.values():
+            assert row["task_reduction"] > 0.2
+            assert row["interaction_reduction"] > 0.2
+
+    def test_nonlinearity_row(self):
+        graph = cell_based_methodology()
+        assert graph.has_iteration_loops()
+
+
+class TestMethodologyPerformance:
+    def test_bench_build_graph(self, benchmark):
+        graph = benchmark(cell_based_methodology)
+        assert len(graph) == 200
+
+    def test_bench_edges(self, benchmark):
+        graph = cell_based_methodology()
+        edges = benchmark(graph.edges)
+        assert len(edges) > 300
+
+    def test_bench_prune_all_scenarios(self, benchmark):
+        graph = cell_based_methodology()
+        scenarios = standard_scenarios()
+
+        def run():
+            return [prune_report(graph, scenario)[1] for scenario in scenarios]
+
+        reports = benchmark(run)
+        assert len(reports) == 3

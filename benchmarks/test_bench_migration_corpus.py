@@ -1,0 +1,61 @@
+"""E2 — migration pipeline throughput and zero-cleanup rate.
+
+The paper reports "a high degree of automation with no manual post
+translation cleanup".  Regenerated rows: for a sweep of corpus sizes, the
+fraction of migrations that complete clean (verified, no errors) and the
+pipeline throughput.  Expected shape: 100% clean across the corpus.
+"""
+
+import pytest
+
+from cadinterop.schematic.migrate import Migrator
+from cadinterop.schematic.samples import build_sample_plan, generate_chain_schematic
+
+CORPUS = [
+    (2, 2, 3),
+    (2, 4, 5),
+    (3, 4, 6),
+    (4, 6, 6),
+]
+
+
+class TestCleanRate:
+    def test_zero_manual_cleanup_across_corpus(self, vl_libraries):
+        rows = {}
+        for pages, chains, stages in CORPUS:
+            cell = generate_chain_schematic(
+                vl_libraries, pages=pages, chains_per_page=chains, stages=stages
+            )
+            result = Migrator(build_sample_plan(source_libraries=vl_libraries)).migrate(cell)
+            rows[cell.name] = {
+                "instances": cell.instance_count(),
+                "clean": result.clean,
+                "verified": result.verification.equivalent,
+            }
+        print(f"\nE2 rows: {rows}")
+        assert all(row["clean"] for row in rows.values())
+        assert all(row["verified"] for row in rows.values())
+
+
+class TestThroughput:
+    @pytest.mark.parametrize("pages,chains,stages", CORPUS[:2])
+    def test_bench_corpus_migration(self, benchmark, vl_libraries, pages, chains, stages):
+        cell = generate_chain_schematic(
+            vl_libraries, pages=pages, chains_per_page=chains, stages=stages
+        )
+        plan = build_sample_plan(source_libraries=vl_libraries)
+
+        result = benchmark(lambda: Migrator(plan).migrate(cell))
+        benchmark.extra_info["instances"] = cell.instance_count()
+        benchmark.extra_info["clean"] = result.clean
+
+    def test_bench_verification_only(self, benchmark, vl_libraries):
+        from cadinterop.schematic.verify import verify_migration
+
+        cell = generate_chain_schematic(vl_libraries, pages=3, chains_per_page=4, stages=6)
+        plan = build_sample_plan(source_libraries=vl_libraries, verify=False)
+        result = Migrator(plan).migrate(cell)
+        verification = benchmark(
+            lambda: verify_migration(cell, result.schematic, plan.symbol_map, plan.global_map)
+        )
+        assert verification.equivalent

@@ -1,0 +1,113 @@
+"""E9 — naming hazards: truncation aliasing, keyword clashes, flattening.
+
+Paper 3.3.  Regenerated rows: aliasing collision counts at 8-character
+truncation as the name population grows, keyword-clash rename impact on
+analysis scripts, and the flatten/back-map round trip.
+"""
+
+import pytest
+
+from cadinterop.hdl.flatten import flatten, unflatten_name
+from cadinterop.hdl.names import find_truncation_aliases
+from cadinterop.hdl.parser import parse
+from cadinterop.hdl.translate import plan_renames, rewrite_script, script_impact
+
+
+def signal_population(blocks, signals_per_block):
+    """Realistic hierarchical names: <block>_<function><index>."""
+    names = []
+    for block_index in range(blocks):
+        for signal_index in range(signals_per_block):
+            names.append(f"block{block_index:02}_data{signal_index:03}")
+            names.append(f"block{block_index:02}_ctrl{signal_index:03}")
+    return names
+
+
+class TestTruncationRows:
+    def test_collision_rate_grows_with_population(self):
+        rows = {}
+        for blocks in (1, 4, 16):
+            names = signal_population(blocks, 8)
+            groups = find_truncation_aliases(names, significant=8)
+            collided = sum(len(members) for members in groups.values())
+            rows[f"{len(names)} names"] = f"{collided} collide in {len(groups)} groups"
+        print(f"\nE9 truncation rows: {rows}")
+        # Shape: this naming style collapses catastrophically at 8 chars.
+        all_names = signal_population(16, 8)
+        assert find_truncation_aliases(all_names, significant=8)
+        # And survives with a discriminating prefix width.
+        assert not find_truncation_aliases(all_names, significant=16)
+
+    def test_paper_example(self):
+        groups = find_truncation_aliases(["cntr_reset1", "cntr_reset2"])
+        assert groups == {"cntr_res": ["cntr_reset1", "cntr_reset2"]}
+
+
+class TestKeywordRenameImpact:
+    SCRIPT = "\n".join(
+        ["probe in", "probe out", "probe clk", "compare in out", "probe data"] * 20
+    )
+
+    def test_rows(self):
+        plan = plan_renames(["in", "out", "clk", "data", "signal"])
+        impact = script_impact(self.SCRIPT, plan)
+        rows = {
+            "identifiers renamed": plan.renamed_count,
+            "script lines broken": impact.broken_lines,
+        }
+        print(f"\nE9 keyword rows: {rows}")
+        assert plan.renamed_count == 3  # in, out, signal
+        assert impact.broken_lines == 60  # every probe in/out and compare line
+
+    def test_rewrite_repairs_script(self):
+        plan = plan_renames(["in", "out"])
+        repaired = rewrite_script(self.SCRIPT, plan)
+        assert script_impact(repaired, plan).broken_lines == 0
+
+
+def deep_design(depth=4):
+    """A linear hierarchy depth levels deep."""
+    source = ["module leaf (p, q); input p; output q; assign q = ~p; endmodule"]
+    previous = "leaf"
+    for level in range(depth):
+        name = f"level{level}"
+        source.append(
+            f"module {name} (p, q); input p; output q; wire mid;"
+            f" {previous} u1 (.p(p), .q(mid));"
+            f" {previous} u2 (.p(mid), .q(q)); endmodule"
+        )
+        previous = name
+    unit = parse("\n".join(source))
+    unit.top = previous
+    return unit
+
+
+class TestFlattenRoundTrip:
+    def test_rows(self):
+        unit = deep_design(4)
+        flat, name_map = flatten(unit)
+        internal = [n for n in flat.nets if "_" in n]
+        # Every flat name maps back to exactly its hierarchical path.
+        for flat_name in flat.nets:
+            dotted = unflatten_name(name_map, flat_name)
+            assert name_map.target_of(dotted) == flat_name
+        rows = {
+            "flat signals": len(flat.nets),
+            "hierarchical (joined) names": len(internal),
+            "back-map failures": 0,
+        }
+        print(f"\nE9 flatten rows: {rows}")
+        # Binary instance tree: 1+2+4+8 = 15 'mid' wires, plus the 2 ports.
+        assert len(flat.nets) == 17
+
+    def test_bench_flatten(self, benchmark):
+        unit = deep_design(6)
+        flat, name_map = benchmark(lambda: flatten(unit))
+        assert len(flat.nets) > 50
+
+    def test_bench_backmap(self, benchmark):
+        unit = deep_design(6)
+        flat, name_map = flatten(unit)
+        names = list(flat.nets)
+        result = benchmark(lambda: [unflatten_name(name_map, n) for n in names])
+        assert len(result) == len(names)

@@ -1,0 +1,142 @@
+"""E8 — subset portability and sensitivity-mismatch detection.
+
+Paper 3.2: models transported between synthesis tools must use "the
+intersection of the vendors' subsets"; incomplete sensitivity lists make
+simulation and synthesis disagree.  Regenerated rows: per-vendor accept
+rates over a model population, intersection portability, and the
+mismatch-detection rate on sensitivity-trap models.
+"""
+
+import pytest
+
+from cadinterop.hdl.parser import parse_module
+from cadinterop.hdl.synth import (
+    DEFAULT_VENDORS,
+    analyze,
+    portability_report,
+    simulation_synthesis_mismatch,
+    synthesize,
+    written_in_intersection,
+)
+from cadinterop.hdl.simulator import simulate
+
+MODELS = {
+    # Portable: edge-triggered, nonblocking, plain if.
+    "portable-ff": """
+        module ff (clk, d, q); input clk, d; output q; reg q;
+        always @(posedge clk) q <= d;
+        endmodule
+    """,
+    # @(*): synthB rejects.
+    "star-comb": """
+        module comb (a, b, y); input a, b; output y; reg y;
+        always @(*) y = a & b;
+        endmodule
+    """,
+    # level list: synthC rejects.
+    "level-comb": """
+        module comb2 (a, b, y); input a, b; output y; reg y;
+        always @(a or b) y = a | b;
+        endmodule
+    """,
+    # tristate: synthA rejects.
+    "tristate": """
+        module tri1 (a, en, y); input a, en; output y;
+        bufif1 b1 (y, a, en);
+        endmodule
+    """,
+    # delays: nobody accepts.
+    "delayed": """
+        module dly (a, y); input a; output y;
+        assign #5 y = ~a;
+        endmodule
+    """,
+}
+
+TRAP = """
+module style (a, b, out);
+  input a, b; output out;
+  reg out, c;
+  always @(a or b) out = a & b & c;
+  initial begin c = 1'b1; a = 1'b1; b = 1'b1; end
+  initial begin #10 c = 1'b0; end
+endmodule
+"""
+
+OK_MODEL = """
+module ok (a, b, out);
+  input a, b; output out;
+  reg out, c;
+  always @(a or b or c) out = a & b & c;
+  initial begin c = 1'b1; a = 1'b1; b = 1'b1; end
+  initial begin #10 c = 1'b0; end
+endmodule
+"""
+
+
+class TestSubsetRows:
+    def test_vendor_accept_matrix(self):
+        rows = {}
+        for label, source in MODELS.items():
+            module = parse_module(source)
+            report = portability_report(module)
+            rows[label] = {
+                "accepted_by": report.accepted_by,
+                "portable": written_in_intersection(module),
+            }
+        print(f"\nE8 accept matrix: {rows}")
+        assert rows["portable-ff"]["portable"]
+        assert rows["portable-ff"]["accepted_by"] == ["synthA", "synthB", "synthC"]
+        assert "synthB" not in rows["star-comb"]["accepted_by"]
+        assert "synthC" not in rows["level-comb"]["accepted_by"]
+        assert "synthA" not in rows["tristate"]["accepted_by"]
+        assert rows["delayed"]["accepted_by"] == []
+
+    def test_intersection_rule_predicts_portability(self):
+        for label, source in MODELS.items():
+            module = parse_module(source)
+            in_intersection = written_in_intersection(module)
+            accepted_by_all = len(portability_report(module).accepted_by) == len(
+                DEFAULT_VENDORS
+            )
+            assert in_intersection == accepted_by_all, label
+
+
+class TestSensitivityMismatch:
+    def test_detection_and_mismatch_agree(self):
+        trap = parse_module(TRAP)
+        ok = parse_module(OK_MODEL)
+        rows = {
+            "trap": {
+                "static-finding": bool(analyze(trap)[0].missing),
+                "dynamic-mismatch": simulation_synthesis_mismatch(
+                    trap, ["out"], until=100
+                ).mismatch,
+            },
+            "complete-list": {
+                "static-finding": bool(analyze(ok)[0].missing),
+                "dynamic-mismatch": simulation_synthesis_mismatch(
+                    ok, ["out"], until=100
+                ).mismatch,
+            },
+        }
+        print(f"\nE8 sensitivity rows: {rows}")
+        assert rows["trap"] == {"static-finding": True, "dynamic-mismatch": True}
+        assert rows["complete-list"] == {"static-finding": False, "dynamic-mismatch": False}
+
+    def test_synthesized_netlist_behaves_as_synthesis_reads(self):
+        netlist = synthesize(parse_module(TRAP)).netlist
+        sim = simulate(netlist, until=100)
+        assert sim.value("out") == "0"  # responds to c, unlike the RTL
+
+
+class TestSubsetPerformance:
+    def test_bench_portability_sweep(self, benchmark):
+        modules = [parse_module(source) for source in MODELS.values()]
+        reports = benchmark(lambda: [portability_report(m) for m in modules])
+        assert len(reports) == len(MODELS)
+
+    def test_bench_synthesize(self, benchmark):
+        module = parse_module(OK_MODEL)
+        result = benchmark(lambda: synthesize(module))
+        assert result.gate_count > 0

@@ -1,0 +1,77 @@
+"""E6 — timing-check drift across simulator versions and +pre_16a_path.
+
+Paper 3.1: timing results "drift unless backwards compatibility is
+specifically addressed"; the +pre_16a_path option pins the old behavior.
+Regenerated rows: violation counts per version for a model population with
+boundary-margin timing, with and without the compatibility flag.
+Expected shape: drift across the 1.6a boundary without the flag; identical
+pre-1.6a numbers everywhere with it.
+"""
+
+import pytest
+
+from cadinterop.hdl.simulator import simulate
+from cadinterop.hdl.parser import parse_module
+from cadinterop.hdl.timing import ALL_VERSIONS, TimingCheck, TimingChecker, version_drift
+
+
+def boundary_waveforms(count=10, limit=20):
+    """Clock/data pairs, half exactly at the setup limit, half clear."""
+    population = []
+    for index in range(count):
+        clock_edge = 100 + index * 10
+        margin = limit if index % 2 == 0 else limit + 7
+        population.append(
+            {
+                "clk": [(0, "0"), (clock_edge, "1")],
+                "d": [(0, "0"), (clock_edge - margin, "1")],
+            }
+        )
+    return population
+
+
+class TestDriftShape:
+    def test_rows(self):
+        checks = [TimingCheck("setup", "d", "clk", limit=20)]
+        population = boundary_waveforms()
+        totals = {version.name: 0 for version in ALL_VERSIONS}
+        pinned_totals = {version.name: 0 for version in ALL_VERSIONS}
+        for waves in population:
+            drift = version_drift(checks, waves)
+            for version, count in drift.per_version.items():
+                totals[version] += count
+            pinned = version_drift(checks, waves, pre_16a_path=True)
+            for version, count in pinned.per_version.items():
+                pinned_totals[version] += count
+        print(f"\nE6 rows: without flag {totals}; with +pre_16a_path {pinned_totals}")
+        # Half the population is boundary-exact: new versions flag it.
+        assert totals["1.5b"] == 0
+        assert totals["1.6a"] == totals["2.0"] == len(population) // 2
+        # The flag restores pre-1.6a counts everywhere.
+        assert set(pinned_totals.values()) == {0}
+
+    def test_waveforms_from_real_simulation(self):
+        """The checker consumes the kernel's actual waveforms."""
+        module = parse_module("""
+            module t ();
+              reg clk, d;
+              initial begin clk = 1'b0; d = 1'b0; #30 d = 1'b1; #20 clk = 1'b1; end
+            endmodule
+        """)
+        sim = simulate(module, until=100)
+        checks = [TimingCheck("setup", "d", "clk", limit=20)]
+        drift = version_drift(checks, {"clk": sim.waveform("clk"), "d": sim.waveform("d")})
+        assert drift.drifts  # margin is exactly 20: the boundary case
+
+
+class TestCheckerPerformance:
+    def test_bench_version_sweep(self, benchmark):
+        checks = [TimingCheck("setup", "d", "clk", limit=20),
+                  TimingCheck("hold", "d", "clk", limit=3),
+                  TimingCheck("width", "clk", "clk", limit=4)]
+        waves = {
+            "clk": [(t, "01"[t // 10 % 2]) for t in range(0, 2000, 10)],
+            "d": [(t, "01"[t // 30 % 2]) for t in range(5, 2000, 30)],
+        }
+        result = benchmark(lambda: version_drift(checks, waves))
+        assert result.per_version

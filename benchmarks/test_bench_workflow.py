@@ -1,0 +1,112 @@
+"""E12 — workflow engine behaviors and overhead.
+
+Paper Section 5.  Regenerated rows: default-vs-explicit status outcomes,
+dependency/trigger correctness on a block-level flow, and engine overhead
+per step (the integration layer must be cheap relative to the tools).
+"""
+
+import pytest
+
+from cadinterop.workflow import (
+    FlowTemplate,
+    MetricsCollector,
+    PythonAction,
+    StepDef,
+    StepState,
+    WorkflowEngine,
+)
+
+
+def build_wide_flow(width=20):
+    """A fan-out/fan-in flow: prepare -> N parallel steps -> collect."""
+    template = FlowTemplate(f"wide{width}")
+    template.add_step(StepDef("prepare", action=PythonAction(lambda api: 0)))
+    for index in range(width):
+        template.add_step(
+            StepDef(f"work{index}", action=PythonAction(lambda api: 0),
+                    start_after=("prepare",))
+        )
+    template.add_step(
+        StepDef(
+            "collect",
+            action=PythonAction(lambda api: 0),
+            start_after=tuple(f"work{i}" for i in range(width)),
+        )
+    )
+    return template
+
+
+class TestPolicyRows:
+    def test_default_vs_explicit_rows(self):
+        engine = WorkflowEngine()
+
+        def exit_zero(api):
+            return 0
+
+        def exit_two(api):
+            return 2
+
+        def explicit_ok(api):
+            api.set_state(StepState.SUCCEEDED, "log says 0 errors")
+            return 2  # exit code would have failed under the default policy
+
+        template = FlowTemplate("policy")
+        template.add_step(StepDef("default-zero", action=PythonAction(exit_zero)))
+        template.add_step(StepDef("default-two", action=PythonAction(exit_two)))
+        template.add_step(
+            StepDef("explicit-two", action=PythonAction(explicit_ok), explicit_status=True)
+        )
+        instance = engine.instantiate(template)
+        engine.run(instance)
+        rows = {name: record.state.value for name, record in instance.records.items()}
+        print(f"\nE12 policy rows: {rows}")
+        assert rows == {
+            "default-zero": "succeeded",
+            "default-two": "failed",
+            "explicit-two": "succeeded",
+        }
+
+    def test_dependency_ordering_row(self):
+        engine = WorkflowEngine()
+        template = build_wide_flow(8)
+        instance = engine.instantiate(template)
+        summary = engine.run(instance)
+        assert summary.ok
+        # collect ran last: all its dependencies finished first.
+        collect = instance.record("collect")
+        for index in range(8):
+            work = instance.record(f"work{index}")
+            assert work.finished_at <= collect.started_at
+
+
+class TestEngineOverhead:
+    @pytest.mark.parametrize("width", [10, 50])
+    def test_bench_flow_execution(self, benchmark, width):
+        template = build_wide_flow(width)
+        engine = WorkflowEngine()
+
+        def run():
+            instance = engine.instantiate(template)
+            return engine.run(instance)
+
+        summary = benchmark(run)
+        assert summary.ok
+        benchmark.extra_info["steps"] = width + 2
+
+    def test_bench_metrics_collection(self, benchmark):
+        engine = WorkflowEngine()
+        instances = []
+        template = build_wide_flow(20)
+        for _ in range(10):
+            instance = engine.instantiate(template)
+            engine.run(instance)
+            instances.append(instance)
+
+        def collect():
+            collector = MetricsCollector()
+            for instance in instances:
+                collector.collect(instance)
+            return collector
+
+        collector = benchmark(collect)
+        assert collector.step("collect").runs == 10

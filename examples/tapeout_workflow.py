@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""A workflow-managed block flow (paper Section 5).
+
+Captures a tapeout flow as a template, deploys it per design block
+(hierarchical sub-flows), mixes shell/Python/persistent-tool actions,
+exercises finish conditions, permissions, data-change triggers, and closes
+the loop with metrics-based process tuning.
+
+Run:  python examples/tapeout_workflow.py [workdir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from cadinterop.workflow import (
+    ContentContains,
+    DataVariable,
+    FlowTemplate,
+    MetricsCollector,
+    PersistentTool,
+    PythonAction,
+    ShellAction,
+    StepDef,
+    StepState,
+    ToolSessionAction,
+    TriggerManager,
+    VersionedStore,
+    WorkflowEngine,
+)
+
+
+def build_block_template(workdir: Path, simulator: PersistentTool) -> FlowTemplate:
+    """The per-block sub-flow: synth -> sim -> timing, one tool session."""
+    template = FlowTemplate("block-flow")
+    template.add_step(
+        StepDef("synthesize", action=ToolSessionAction(simulator, "compile"))
+    )
+    template.add_step(
+        StepDef("simulate", action=ToolSessionAction(simulator, "run", {"cycles": 500}),
+                start_after=("synthesize",))
+    )
+    template.add_step(
+        StepDef(
+            "timing",
+            action=ShellAction(f"echo 'slack met: 0 violations' > {workdir}/timing.log"),
+            start_after=("simulate",),
+            finish_conditions=(ContentContains(workdir / "timing.log", "0 violations"),),
+        )
+    )
+    return template
+
+
+def main() -> None:
+    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp())
+    workdir.mkdir(parents=True, exist_ok=True)
+    print(f"working directory: {workdir}\n")
+
+    # A persistent tool shared by the flow: invoked once, reused by feature.
+    simulator = PersistentTool("sim-session")
+    simulator.register_feature("compile", lambda: 0)
+    simulator.register_feature("run", lambda cycles: 0)
+
+    block_flow = build_block_template(workdir, simulator)
+
+    chip = FlowTemplate("chip-tapeout")
+    chip.add_step(StepDef("floorplan", action=PythonAction(lambda api: 0)))
+    chip.add_step(StepDef("cpu", sub_flow=block_flow, start_after=("floorplan",)))
+    chip.add_step(StepDef("cache", sub_flow=block_flow, start_after=("floorplan",)))
+    chip.add_step(
+        StepDef("assemble", action=PythonAction(lambda api: 0),
+                start_after=("cpu", "cache"))
+    )
+    chip.add_step(
+        StepDef("tapeout", action=PythonAction(lambda api: 0),
+                start_after=("assemble",), permissions={"lead"})
+    )
+
+    engine = WorkflowEngine()
+    instance = engine.instantiate(chip)
+
+    print("run 1: designer role (no tapeout permission)")
+    summary = engine.run(instance, user="bob", roles={"designer"})
+    print(f"  succeeded={summary.succeeded} permission-skipped={summary.skipped_permission}")
+    print(f"  tool sessions started: {simulator.start_count}, "
+          f"feature calls: {simulator.call_log}")
+
+    print("\nrun 2: lead signs off tapeout")
+    summary = engine.run(instance, user="ann", roles={"lead"})
+    print(f"  tapeout: {instance.state_of('tapeout').value}")
+    print(f"  whole flow succeeded: {instance.all_succeeded()}")
+
+    # --- data change triggers a rerun of downstream work -----------------
+    print("\ndata change detection:")
+    netlist = workdir / "cpu_netlist.v"
+    netlist.write_text("module cpu; endmodule\n")
+    triggers = TriggerManager(engine)
+    cpu_instance = instance.children["cpu"]
+    triggers.watch(cpu_instance, DataVariable("cpu-netlist", [netlist]),
+                   ["simulate"])
+    netlist.write_text("module cpu; wire fix; endmodule\n")
+    for notification in triggers.poll():
+        print(f"  notification: {notification.kind} on {notification.subject} "
+              f"-> steps {notification.affected_steps} marked stale")
+    print(f"  cpu.simulate state: {cpu_instance.state_of('simulate').value}")
+    summary = engine.rerun_stale(cpu_instance)
+    print(f"  after rerun: {cpu_instance.state_of('simulate').value}")
+
+    # --- versioned data management ----------------------------------------
+    print("\nversioned data management:")
+    store = VersionedStore()
+    store.check_in("cpu_netlist.v", netlist.read_text(), author="bob",
+                   comment="post-fix netlist")
+    store.check_in("cpu_netlist.v", netlist.read_text() + "// eco\n",
+                   author="bob", comment="eco")
+    for revision in store.history("cpu_netlist.v"):
+        print(f"  r{revision.number} by {revision.author}: {revision.comment}")
+
+    # --- closed-loop metrics ---------------------------------------------
+    print("\nprocess metrics:")
+    collector = MetricsCollector()
+    collector.collect(instance)
+    print("  " + collector.report().replace("\n", "\n  "))
+
+
+if __name__ == "__main__":
+    main()

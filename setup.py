@@ -1,0 +1,9 @@
+"""Shim so `pip install -e .` works on environments without the wheel package.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path (`pip install -e . --no-use-pep517`).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""cadinterop — a working reproduction of the systems described in
+"Issues and Answers in CAD Tool Interoperability" (DAC 1996).
+
+Subpackages
+-----------
+``common``
+    Geometry, diagnostics/checklists, name maps, property bags.
+``schematic``
+    Section 2: schematic migration between vendor dialects.
+``hdl``
+    Section 3: simulators, synthesis subsets, naming, co-simulation.
+``pnr``
+    Section 4: floorplanning and the place-and-route backplane.
+``workflow``
+    Section 5: workflow management engine.
+``platform``
+    Section 3.4: hardware/software platform transportability.
+``core``
+    Section 6: the interoperability analysis methodology (tasks,
+    scenarios, tool models, data/control-flow analysis, optimization).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "common",
+    "schematic",
+    "hdl",
+    "pnr",
+    "workflow",
+    "platform",
+    "core",
+]

@@ -1,0 +1,168 @@
+"""Command-line interface: the paper's checklist and analyzers, from a shell.
+
+Subcommands
+-----------
+``cadinterop checklist [--scenario NAME]``
+    Run the Section 6 environment analysis over the built-in methodology
+    and tool catalog; print the interoperability checklist.
+``cadinterop methodology``
+    Print the 200-task methodology's statistics and scenario pruning table.
+``cadinterop races FILE.v [--observe SIG ...]``
+    Parse a Verilog-subset file and run ensemble race detection.
+``cadinterop subsets FILE.v``
+    Report which synthesis vendors accept the design and why not.
+``cadinterop naming NAME [NAME ...]``
+    Check a naming convention over a list of identifiers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _cmd_checklist(args: argparse.Namespace) -> int:
+    from cadinterop.core import (
+        analyze_environment,
+        cell_based_methodology,
+        environment_checklist,
+        standard_scenarios,
+        standard_tool_catalog,
+    )
+
+    scenarios = {s.name: s for s in standard_scenarios()}
+    if args.scenario not in scenarios:
+        print(f"unknown scenario {args.scenario!r}; available: {sorted(scenarios)}",
+              file=sys.stderr)
+        return 2
+    analysis = analyze_environment(
+        cell_based_methodology(), standard_tool_catalog(), scenarios[args.scenario]
+    )
+    print(analysis.summary())
+    print()
+    print(environment_checklist(analysis))
+    return 0
+
+
+def _cmd_methodology(args: argparse.Namespace) -> int:
+    from cadinterop.core import cell_based_methodology, prune_report, standard_scenarios
+
+    graph = cell_based_methodology()
+    stats = graph.stats()
+    print(f"methodology: {graph.name}")
+    for key, value in stats.items():
+        print(f"  {key:12} {value}")
+    print(f"  loops        {graph.has_iteration_loops()}")
+    print("\nscenario pruning:")
+    for scenario in standard_scenarios():
+        _pruned, report = prune_report(graph, scenario)
+        print(f"  {scenario.name:24} tasks {report.tasks_after:4}/{report.tasks_before}"
+              f"  interactions {report.edges_after:4}/{report.edges_before}")
+    return 0
+
+
+def _cmd_races(args: argparse.Namespace) -> int:
+    from cadinterop.hdl.parser import ParseError, parse
+    from cadinterop.hdl.races import detect_races
+
+    try:
+        source = open(args.file).read()
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        unit = parse(source)
+    except ParseError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return 2
+    module = unit.top_module
+    if module.instances:
+        from cadinterop.hdl.flatten import flatten
+
+        module, _name_map = flatten(unit)
+    report = detect_races(
+        module, observed=args.observe or None, until=args.until
+    )
+    print(report.summary())
+    for divergence in report.divergences:
+        print(f"  {divergence.signal}: {divergence.final_values}")
+    return 1 if report.has_race else 0
+
+
+def _cmd_subsets(args: argparse.Namespace) -> int:
+    from cadinterop.hdl.parser import ParseError, parse_module
+    from cadinterop.hdl.synth import portability_report, written_in_intersection
+
+    try:
+        source = open(args.file).read()
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        module = parse_module(source)
+    except ParseError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return 2
+    report = portability_report(module)
+    print(f"module {module.name}: features {sorted(report.features)}")
+    for vendor, violations in report.per_vendor.items():
+        verdict = "accepts" if not violations else f"rejects: {violations}"
+        print(f"  {vendor:8} {verdict}")
+    portable = written_in_intersection(module)
+    print(f"portable across all vendors: {portable}")
+    return 0 if portable else 1
+
+
+def _cmd_naming(args: argparse.Namespace) -> int:
+    from cadinterop.hdl.names import NamingConvention
+
+    convention = NamingConvention(max_length=args.max_length)
+    violations = convention.violations(args.names)
+    if not violations:
+        print(f"{len(args.names)} name(s) clean under the convention")
+        return 0
+    for name, reason in violations:
+        print(f"  {name}: {reason}")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cadinterop",
+        description="CAD tool interoperability analyzers (DAC'96 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    checklist = commands.add_parser("checklist", help="environment checklist")
+    checklist.add_argument("--scenario", default="full-asic")
+    checklist.set_defaults(fn=_cmd_checklist)
+
+    methodology = commands.add_parser("methodology", help="task graph statistics")
+    methodology.set_defaults(fn=_cmd_methodology)
+
+    races = commands.add_parser("races", help="ensemble race detection")
+    races.add_argument("file")
+    races.add_argument("--observe", nargs="*", default=None)
+    races.add_argument("--until", type=int, default=1_000_000)
+    races.set_defaults(fn=_cmd_races)
+
+    subsets = commands.add_parser("subsets", help="synthesis subset portability")
+    subsets.add_argument("file")
+    subsets.set_defaults(fn=_cmd_subsets)
+
+    naming = commands.add_parser("naming", help="naming convention check")
+    naming.add_argument("names", nargs="+")
+    naming.add_argument("--max-length", type=int, default=8)
+    naming.set_defaults(fn=_cmd_naming)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Shared substrate: geometry, diagnostics, name mapping, properties."""
+
+from cadinterop.common.diagnostics import (
+    Category,
+    Issue,
+    IssueLog,
+    Severity,
+    render_checklist,
+)
+from cadinterop.common.geometry import (
+    Grid,
+    IDENTITY,
+    OffGridError,
+    ORIGIN,
+    Orientation,
+    Point,
+    Rect,
+    Segment,
+    Transform,
+    path_segments,
+)
+from cadinterop.common.namemap import (
+    NameCollisionError,
+    NameMap,
+    Rename,
+    hierarchical_join,
+    truncating_transform,
+)
+from cadinterop.common.properties import Property, PropertyBag, PropertyValue
+
+__all__ = [
+    "Category",
+    "Grid",
+    "IDENTITY",
+    "Issue",
+    "IssueLog",
+    "NameCollisionError",
+    "NameMap",
+    "OffGridError",
+    "ORIGIN",
+    "Orientation",
+    "Point",
+    "Property",
+    "PropertyBag",
+    "PropertyValue",
+    "Rect",
+    "Rename",
+    "Segment",
+    "Severity",
+    "Transform",
+    "hierarchical_join",
+    "path_segments",
+    "render_checklist",
+    "truncating_transform",
+]

@@ -1,0 +1,104 @@
+"""The interoperability analysis methodology (paper Section 6).
+
+The paper's research contribution, implemented end to end: tool-independent
+task modelling with normalized information items, scenario-driven graph
+pruning, four-way-classified tool models with CORBA/COM-style control
+interfaces, task/tool mapping with hole and overlap detection, data/control
+flow diagram construction, detection of the five classic interoperability
+problems, the three system-optimization levers, the ~200-task cell-based
+methodology library, and the checklist generator the abstract promises.
+"""
+
+from cadinterop.core.analysis import (
+    AnalysisReport,
+    Finding,
+    analyze,
+    analyze_edge,
+)
+from cadinterop.core.checklist import (
+    EnvironmentAnalysis,
+    analyze_environment,
+    environment_checklist,
+)
+from cadinterop.core.flows import (
+    ControlFlowEdge,
+    DataFlowEdge,
+    FlowDiagram,
+    build_flow_diagram,
+    to_dot,
+)
+from cadinterop.core.library import (
+    cell_based_methodology,
+    standard_scenarios,
+    standard_tool_catalog,
+)
+from cadinterop.core.mapping import TaskToolMap, compare_mappings, map_tasks_to_tools
+from cadinterop.core.optimization import (
+    OptimizationDelta,
+    apply_conventions,
+    measure_lever,
+    repartition_boundary,
+    substitute_technology,
+)
+from cadinterop.core.scenarios import (
+    DrivingFunctions,
+    PruningReport,
+    Scenario,
+    UserProfile,
+    prune,
+    prune_report,
+)
+from cadinterop.core.tasks import (
+    InfoItem,
+    MethodologyError,
+    Task,
+    TaskGraph,
+    task,
+)
+from cadinterop.core.toolmodel import (
+    ControlInterface,
+    DataPort,
+    ToolCatalog,
+    ToolModel,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "ControlFlowEdge",
+    "ControlInterface",
+    "DataFlowEdge",
+    "DataPort",
+    "DrivingFunctions",
+    "EnvironmentAnalysis",
+    "Finding",
+    "FlowDiagram",
+    "InfoItem",
+    "MethodologyError",
+    "OptimizationDelta",
+    "PruningReport",
+    "Scenario",
+    "Task",
+    "TaskGraph",
+    "TaskToolMap",
+    "ToolCatalog",
+    "ToolModel",
+    "UserProfile",
+    "analyze",
+    "analyze_edge",
+    "analyze_environment",
+    "apply_conventions",
+    "build_flow_diagram",
+    "cell_based_methodology",
+    "compare_mappings",
+    "environment_checklist",
+    "map_tasks_to_tools",
+    "measure_lever",
+    "prune",
+    "prune_report",
+    "repartition_boundary",
+    "standard_scenarios",
+    "standard_tool_catalog",
+    "substitute_technology",
+    "task",
+    "to_dot",
+]

@@ -1,0 +1,463 @@
+"""The HDL intermediate representation.
+
+A deliberately small Verilog-like language, rich enough to express every
+Section 3 failure mode: scalar 4-value signals, continuous assigns with
+delay, ``always`` blocks with (possibly incomplete) sensitivity lists,
+blocking and nonblocking assignment, ``initial`` stimulus with delays, gate
+primitives, and hierarchical module instances.
+
+Vectors are intentionally out of scope — every interoperability mechanism
+the paper discusses (event ordering, sensitivity lists, naming, subsets,
+timing checks) manifests on scalars, and scalar-only keeps the simulator
+kernel small enough to parameterize aggressively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from cadinterop.hdl.logic import Logic4
+
+
+class HDLError(Exception):
+    """Structural error in an HDL description."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const:
+    """A 4-value literal (``1'b0``, ``1'b1``, ``1'bx``, ``1'bz``)."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        Logic4.validate(self.value)
+
+
+@dataclass(frozen=True)
+class Var:
+    """A signal reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # "~" or "!"
+    operand: "Expr"
+
+    OPS = ("~", "!")
+
+    def __post_init__(self) -> None:
+        if self.op not in self.OPS:
+            raise HDLError(f"unknown unary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    OPS = ("&", "|", "^", "~^", "==", "!=", "===", "!==", "&&", "||")
+
+    def __post_init__(self) -> None:
+        if self.op not in self.OPS:
+            raise HDLError(f"unknown binary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Cond:
+    """The ternary ``cond ? a : b``."""
+
+    condition: "Expr"
+    if_true: "Expr"
+    if_false: "Expr"
+
+
+Expr = Union[Const, Var, Unary, Binary, Cond]
+
+
+def expr_reads(expr: Expr) -> Set[str]:
+    """All signal names an expression reads."""
+    if isinstance(expr, Const):
+        return set()
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, Unary):
+        return expr_reads(expr.operand)
+    if isinstance(expr, Binary):
+        return expr_reads(expr.left) | expr_reads(expr.right)
+    if isinstance(expr, Cond):
+        return (
+            expr_reads(expr.condition)
+            | expr_reads(expr.if_true)
+            | expr_reads(expr.if_false)
+        )
+    raise HDLError(f"not an expression: {expr!r}")
+
+
+def rename_expr(expr: Expr, mapping: Dict[str, str]) -> Expr:
+    """Return ``expr`` with variables renamed through ``mapping``."""
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Var):
+        return Var(mapping.get(expr.name, expr.name))
+    if isinstance(expr, Unary):
+        return Unary(expr.op, rename_expr(expr.operand, mapping))
+    if isinstance(expr, Binary):
+        return Binary(expr.op, rename_expr(expr.left, mapping), rename_expr(expr.right, mapping))
+    if isinstance(expr, Cond):
+        return Cond(
+            rename_expr(expr.condition, mapping),
+            rename_expr(expr.if_true, mapping),
+            rename_expr(expr.if_false, mapping),
+        )
+    raise HDLError(f"not an expression: {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Statements (inside always / initial)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Assign:
+    """Procedural assignment; ``nonblocking`` selects ``<=`` semantics."""
+
+    target: str
+    expr: Expr
+    nonblocking: bool = False
+
+
+@dataclass
+class If:
+    condition: Expr
+    then_body: List["Stmt"]
+    else_body: Optional[List["Stmt"]] = None
+
+
+@dataclass
+class Delay:
+    """``#n`` inside an initial block (not allowed in always blocks here)."""
+
+    amount: int
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0:
+            raise HDLError("delay must be positive")
+
+
+Stmt = Union[Assign, If, Delay]
+
+
+def stmt_reads(stmt: Stmt) -> Set[str]:
+    if isinstance(stmt, Assign):
+        return expr_reads(stmt.expr)
+    if isinstance(stmt, If):
+        reads = expr_reads(stmt.condition)
+        for inner in stmt.then_body:
+            reads |= stmt_reads(inner)
+        for inner in stmt.else_body or []:
+            reads |= stmt_reads(inner)
+        return reads
+    if isinstance(stmt, Delay):
+        return set()
+    raise HDLError(f"not a statement: {stmt!r}")
+
+
+def stmt_writes(stmt: Stmt) -> Set[str]:
+    if isinstance(stmt, Assign):
+        return {stmt.target}
+    if isinstance(stmt, If):
+        writes: Set[str] = set()
+        for inner in stmt.then_body:
+            writes |= stmt_writes(inner)
+        for inner in stmt.else_body or []:
+            writes |= stmt_writes(inner)
+        return writes
+    if isinstance(stmt, Delay):
+        return set()
+    raise HDLError(f"not a statement: {stmt!r}")
+
+
+def body_reads(body: Sequence[Stmt]) -> Set[str]:
+    reads: Set[str] = set()
+    for stmt in body:
+        reads |= stmt_reads(stmt)
+    return reads
+
+
+def body_writes(body: Sequence[Stmt]) -> Set[str]:
+    writes: Set[str] = set()
+    for stmt in body:
+        writes |= stmt_writes(stmt)
+    return writes
+
+
+# ---------------------------------------------------------------------------
+# Module items
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SensItem:
+    """One sensitivity-list entry: level, posedge, or negedge of a signal."""
+
+    signal: str
+    edge: str = "level"
+
+    EDGES = ("level", "posedge", "negedge")
+
+    def __post_init__(self) -> None:
+        if self.edge not in self.EDGES:
+            raise HDLError(f"bad edge kind {self.edge!r}")
+
+
+@dataclass
+class Sensitivity:
+    """An always block's trigger condition.
+
+    ``star`` means ``@(*)`` — sensitive to everything the body reads.
+    """
+
+    items: List[SensItem] = field(default_factory=list)
+    star: bool = False
+
+    def signals(self) -> Set[str]:
+        return {item.signal for item in self.items}
+
+    def is_edge_triggered(self) -> bool:
+        return any(item.edge != "level" for item in self.items)
+
+
+@dataclass
+class AlwaysBlock:
+    sensitivity: Sensitivity
+    body: List[Stmt]
+
+    def reads(self) -> Set[str]:
+        return body_reads(self.body)
+
+    def writes(self) -> Set[str]:
+        return body_writes(self.body)
+
+    def effective_sensitivity(self) -> Set[str]:
+        """Signals that actually trigger this block in simulation."""
+        if self.sensitivity.star:
+            return self.reads()
+        return self.sensitivity.signals()
+
+
+@dataclass
+class InitialBlock:
+    body: List[Stmt]
+
+
+@dataclass
+class ContAssign:
+    """``assign #d target = expr;``"""
+
+    target: str
+    expr: Expr
+    delay: int = 0
+
+
+@dataclass
+class GateInst:
+    """A gate primitive instance: ``and g1 (y, a, b);``"""
+
+    name: str
+    gate: str
+    output: str
+    inputs: List[str]
+    delay: int = 0
+
+    GATES = ("and", "or", "nand", "nor", "xor", "xnor", "not", "buf", "bufif0", "bufif1")
+
+    def __post_init__(self) -> None:
+        if self.gate not in self.GATES:
+            raise HDLError(f"unknown gate primitive {self.gate!r}")
+        minimum = 1 if self.gate in ("not", "buf") else 2
+        if self.gate in ("bufif0", "bufif1"):
+            minimum = 2
+        if len(self.inputs) < minimum:
+            raise HDLError(f"gate {self.gate!r} needs at least {minimum} inputs")
+
+
+@dataclass
+class ModuleInst:
+    """A hierarchical instance with named port connections."""
+
+    name: str
+    module_name: str
+    connections: Dict[str, str]  # formal port -> actual signal
+
+
+@dataclass
+class PortDecl:
+    name: str
+    direction: str  # input / output / inout
+
+    DIRECTIONS = ("input", "output", "inout")
+
+    def __post_init__(self) -> None:
+        if self.direction not in self.DIRECTIONS:
+            raise HDLError(f"bad port direction {self.direction!r}")
+
+
+@dataclass
+class NetDecl:
+    name: str
+    kind: str = "wire"  # wire / reg
+
+    KINDS = ("wire", "reg")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise HDLError(f"bad net kind {self.kind!r}")
+
+
+class Module:
+    """One HDL module."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ports: List[PortDecl] = []
+        self.nets: Dict[str, NetDecl] = {}
+        self.assigns: List[ContAssign] = []
+        self.always_blocks: List[AlwaysBlock] = []
+        self.initial_blocks: List[InitialBlock] = []
+        self.gates: List[GateInst] = []
+        self.instances: List[ModuleInst] = []
+
+    # -- construction helpers ------------------------------------------------
+
+    def add_port(self, name: str, direction: str) -> PortDecl:
+        if any(p.name == name for p in self.ports):
+            raise HDLError(f"duplicate port {name!r} in module {self.name!r}")
+        port = PortDecl(name, direction)
+        self.ports.append(port)
+        if name not in self.nets:
+            self.nets[name] = NetDecl(name, "wire")
+        return port
+
+    def add_net(self, name: str, kind: str = "wire") -> NetDecl:
+        existing = self.nets.get(name)
+        if existing is not None:
+            if existing.kind == "wire" and kind == "reg":
+                # input a; reg a; style double declaration upgrades the
+                # kind; an implicit wire reference never downgrades a reg.
+                self.nets[name] = NetDecl(name, kind)
+            return self.nets[name]
+        decl = NetDecl(name, kind)
+        self.nets[name] = decl
+        return decl
+
+    def add_assign(self, target: str, expr: Expr, delay: int = 0) -> ContAssign:
+        item = ContAssign(target, expr, delay)
+        self.assigns.append(item)
+        return item
+
+    def add_always(self, sensitivity: Sensitivity, body: List[Stmt]) -> AlwaysBlock:
+        block = AlwaysBlock(sensitivity, body)
+        self.always_blocks.append(block)
+        return block
+
+    def add_initial(self, body: List[Stmt]) -> InitialBlock:
+        block = InitialBlock(body)
+        self.initial_blocks.append(block)
+        return block
+
+    def add_gate(self, gate: GateInst) -> GateInst:
+        self.gates.append(gate)
+        return gate
+
+    def add_instance(self, inst: ModuleInst) -> ModuleInst:
+        if any(existing.name == inst.name for existing in self.instances):
+            raise HDLError(f"duplicate instance {inst.name!r} in module {self.name!r}")
+        self.instances.append(inst)
+        return inst
+
+    # -- queries ---------------------------------------------------------------
+
+    def port(self, name: str) -> PortDecl:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise HDLError(f"module {self.name!r} has no port {name!r}")
+
+    def port_names(self) -> List[str]:
+        return [p.name for p in self.ports]
+
+    def signal_names(self) -> List[str]:
+        return list(self.nets)
+
+    def drivers_of(self, signal: str) -> List[object]:
+        """Every construct that drives ``signal`` (for multi-driver checks)."""
+        drivers: List[object] = []
+        for assign in self.assigns:
+            if assign.target == signal:
+                drivers.append(assign)
+        for gate in self.gates:
+            if gate.output == signal:
+                drivers.append(gate)
+        for block in self.always_blocks:
+            if signal in block.writes():
+                drivers.append(block)
+        return drivers
+
+    def validate(self) -> None:
+        """Raise on structural inconsistencies (undeclared signals etc.)."""
+        declared = set(self.nets)
+
+        def check(names: Set[str], where: str) -> None:
+            unknown = names - declared
+            if unknown:
+                raise HDLError(
+                    f"module {self.name!r}: undeclared signal(s) {sorted(unknown)} in {where}"
+                )
+
+        for assign in self.assigns:
+            check({assign.target} | expr_reads(assign.expr), "continuous assign")
+        for block in self.always_blocks:
+            check(block.reads() | block.writes() | block.sensitivity.signals(), "always block")
+        for block in self.initial_blocks:
+            check(body_reads(block.body) | body_writes(block.body), "initial block")
+        for gate in self.gates:
+            check({gate.output} | set(gate.inputs), f"gate {gate.name!r}")
+        for inst in self.instances:
+            check(set(inst.connections.values()), f"instance {inst.name!r}")
+
+
+class DesignUnit:
+    """A set of modules with one top (the compilation unit)."""
+
+    def __init__(self, top: Optional[str] = None) -> None:
+        self.modules: Dict[str, Module] = {}
+        self.top = top
+
+    def add(self, module: Module, top: bool = False) -> Module:
+        if module.name in self.modules:
+            raise HDLError(f"duplicate module {module.name!r}")
+        self.modules[module.name] = module
+        if top or self.top is None:
+            self.top = module.name
+        return module
+
+    def module(self, name: str) -> Module:
+        try:
+            return self.modules[name]
+        except KeyError:
+            raise HDLError(f"no module named {name!r}") from None
+
+    @property
+    def top_module(self) -> Module:
+        if self.top is None:
+            raise HDLError("design unit has no top module")
+        return self.module(self.top)

@@ -1,0 +1,175 @@
+"""Two-kernel co-simulation with explicit failure modes.
+
+Section 3.1 ("Co-simulation"): "Making two simulation tools work together,
+specially a Verilog HDL - VHDL co-simulation, is typically problematic.
+Although co-simulation attempts have been made by all major CAD vendors,
+most have fallen short of their targets.  Inconsistencies in the signal
+value set (e.g. 0, 1, x, and z) and in the simulation cycle definition are
+common sources of problems."
+
+Both failure sources are reproducible switches on :class:`CoSimulation`:
+
+* ``value_mode`` — ``"correct"`` converts boundary values through the
+  proper 4↔9 value projections (:func:`cadinterop.hdl.logic.to4`); the
+  ``"naive"`` mode uses the legacy shortcut that forces ``z``/``x``/weak
+  levels to ``0``, corrupting tristate and unknown propagation.
+* ``aligned`` — ``True`` iterates exchange+settle to a fixpoint inside each
+  simulation time (a consistent joint cycle definition); ``False`` does a
+  single exchange per time step, so cross-kernel combinational paths see
+  values one exchange stale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from cadinterop.hdl.ast_nodes import HDLError, Module
+from cadinterop.hdl.logic import naive_to4, to4, to9
+from cadinterop.hdl.simulator import FIFO, OrderingPolicy, Simulator
+
+
+@dataclass(frozen=True)
+class BridgeSignal:
+    """One boundary signal: source side/name -> target side/name."""
+
+    source_side: str  # "left" or "right"
+    source: str
+    target: str
+
+
+def _correct_convert(value: str) -> str:
+    return to4(to9(value))
+
+
+def _naive_convert(value: str) -> str:
+    return naive_to4(to9(value))
+
+
+class CoSimulation:
+    """Lock-step co-simulation of two modules over a signal bridge."""
+
+    def __init__(
+        self,
+        left: Module,
+        right: Module,
+        bridge: Sequence[BridgeSignal],
+        value_mode: str = "correct",
+        aligned: bool = True,
+        left_policy: OrderingPolicy = FIFO,
+        right_policy: OrderingPolicy = FIFO,
+        max_exchange_iterations: int = 16,
+    ) -> None:
+        if value_mode not in ("correct", "naive"):
+            raise ValueError(f"unknown value mode {value_mode!r}")
+        self.left = Simulator(left, left_policy)
+        self.right = Simulator(right, right_policy)
+        self.bridge = list(bridge)
+        self.aligned = aligned
+        self.max_exchange_iterations = max_exchange_iterations
+        self._convert = _correct_convert if value_mode == "correct" else _naive_convert
+        for signal in self.bridge:
+            if signal.source_side not in ("left", "right"):
+                raise ValueError(f"bad bridge side {signal.source_side!r}")
+
+    def _side(self, name: str) -> Simulator:
+        return self.left if name == "left" else self.right
+
+    def _other(self, name: str) -> Simulator:
+        return self.right if name == "left" else self.left
+
+    def _exchange(self) -> bool:
+        """Copy boundary values across; True if anything changed."""
+        changed = False
+        for signal in self.bridge:
+            source_sim = self._side(signal.source_side)
+            target_sim = self._other(signal.source_side)
+            value = self._convert(source_sim.values[signal.source])
+            if target_sim.values[signal.target] != value:
+                target_sim.set_signal(signal.target, value)
+                changed = True
+        return changed
+
+    def _next_time(self) -> Optional[int]:
+        times = [
+            t for t in (self.left.next_event_time(), self.right.next_event_time())
+            if t is not None
+        ]
+        return min(times) if times else None
+
+    def run(self, until: int) -> int:
+        """Co-simulate to ``until``; returns the final time reached."""
+        # Time zero settle + initial exchange.
+        self.left.run(0)
+        self.right.run(0)
+        self._exchange_phase()
+
+        while True:
+            next_time = self._next_time()
+            if next_time is None or next_time > until:
+                break
+            self.left.run(next_time)
+            self.right.run(next_time)
+            self._exchange_phase()
+        return until
+
+    def _exchange_phase(self) -> None:
+        if not self.aligned:
+            # Misaligned cycle definition: one blind exchange, and the
+            # receiving kernel does not re-settle until its next own event.
+            self._exchange()
+            return
+        for _ in range(self.max_exchange_iterations):
+            if not self._exchange():
+                return
+            # Let both kernels settle the consequences within this time.
+            self.left.run(self.left.now)
+            self.right.run(self.right.now)
+        raise HDLError(
+            "co-simulation exchange did not converge "
+            f"within {self.max_exchange_iterations} iterations "
+            "(cross-kernel combinational loop?)"
+        )
+
+    # -- results -------------------------------------------------------------
+
+    def value(self, side: str, signal: str) -> str:
+        return self._side(side).values[signal]
+
+
+@dataclass
+class FidelityReport:
+    """Comparison of a co-simulated run against a monolithic reference."""
+
+    compared: int = 0
+    mismatches: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def fidelity(self) -> float:
+        if not self.compared:
+            return 1.0
+        return 1.0 - len(self.mismatches) / self.compared
+
+    @property
+    def exact(self) -> bool:
+        return not self.mismatches
+
+
+def compare_with_reference(
+    cosim: CoSimulation,
+    reference: Simulator,
+    signal_map: Dict[str, Tuple[str, str]],
+) -> FidelityReport:
+    """Compare co-sim results against a single-kernel reference simulation.
+
+    ``signal_map`` maps reference signal name -> (side, signal) in the
+    co-simulation.
+    """
+    report = FidelityReport()
+    for reference_name, (side, signal) in sorted(signal_map.items()):
+        report.compared += 1
+        expected = reference.values[reference_name]
+        actual = cosim.value(side, signal)
+        if expected != actual:
+            report.mismatches.append((reference_name, expected, actual))
+    return report

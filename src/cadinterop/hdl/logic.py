@@ -1,0 +1,205 @@
+"""Multi-valued logic systems and the value-set mappings between them.
+
+Section 3.1 of the paper names "inconsistencies in the signal value set
+(e.g. 0, 1, x, and z)" as a common source of co-simulation failures.  Two
+concrete systems are implemented:
+
+* :class:`Logic4` — the Verilog-style four-value set ``0 1 x z``;
+* :class:`Logic9` — a std_logic-style nine-value set
+  ``U X 0 1 Z W L H -`` with the IEEE-1164 resolution table.
+
+Conversion between them is inherently lossy (nine values cannot round-trip
+through four); :func:`to4`/:func:`to9` implement the *correct* projections,
+and :func:`naive_to4` the shortcut real bridges got wrong (mapping both
+``Z`` and weak values to ``0``), so the co-simulation experiments can show
+the failure and the fix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+
+class Logic4:
+    """The four-value logic system: constants and operators.
+
+    Values are single-character strings for cheap hashing and printing.
+    """
+
+    ZERO = "0"
+    ONE = "1"
+    X = "x"
+    Z = "z"
+    VALUES = ("0", "1", "x", "z")
+
+    @staticmethod
+    def validate(value: str) -> str:
+        if value not in Logic4.VALUES:
+            raise ValueError(f"not a 4-value logic level: {value!r}")
+        return value
+
+    # -- operators ----------------------------------------------------------
+
+    @staticmethod
+    def not_(a: str) -> str:
+        if a == "0":
+            return "1"
+        if a == "1":
+            return "0"
+        return "x"
+
+    @staticmethod
+    def and_(a: str, b: str) -> str:
+        if a == "0" or b == "0":
+            return "0"
+        if a == "1" and b == "1":
+            return "1"
+        return "x"
+
+    @staticmethod
+    def or_(a: str, b: str) -> str:
+        if a == "1" or b == "1":
+            return "1"
+        if a == "0" and b == "0":
+            return "0"
+        return "x"
+
+    @staticmethod
+    def xor(a: str, b: str) -> str:
+        if a in "xz" or b in "xz":
+            return "x"
+        return "1" if a != b else "0"
+
+    @staticmethod
+    def eq(a: str, b: str) -> str:
+        """Logical equality (``==``): unknown if either side is x/z."""
+        if a in "xz" or b in "xz":
+            return "x"
+        return "1" if a == b else "0"
+
+    @staticmethod
+    def case_eq(a: str, b: str) -> str:
+        """Case equality (``===``): x and z compare literally."""
+        return "1" if a == b else "0"
+
+    @staticmethod
+    def is_true(a: str) -> bool:
+        return a == "1"
+
+    @staticmethod
+    def resolve(a: str, b: str) -> str:
+        """Two drivers on one net: z yields, conflict makes x."""
+        if a == "z":
+            return b
+        if b == "z":
+            return a
+        if a == b:
+            return a
+        return "x"
+
+    @staticmethod
+    def resolve_many(values: Iterable[str]) -> str:
+        result = "z"
+        for value in values:
+            result = Logic4.resolve(result, value)
+        return result
+
+
+class Logic9:
+    """A std_logic-style nine-value system with IEEE-1164 resolution."""
+
+    VALUES = ("U", "X", "0", "1", "Z", "W", "L", "H", "-")
+
+    #: IEEE 1164 resolution table, indexed by VALUES order.
+    _RESOLUTION = [
+        # U    X    0    1    Z    W    L    H    -
+        ["U", "U", "U", "U", "U", "U", "U", "U", "U"],  # U
+        ["U", "X", "X", "X", "X", "X", "X", "X", "X"],  # X
+        ["U", "X", "0", "X", "0", "0", "0", "0", "X"],  # 0
+        ["U", "X", "X", "1", "1", "1", "1", "1", "X"],  # 1
+        ["U", "X", "0", "1", "Z", "W", "L", "H", "X"],  # Z
+        ["U", "X", "0", "1", "W", "W", "W", "W", "X"],  # W
+        ["U", "X", "0", "1", "L", "W", "L", "W", "X"],  # L
+        ["U", "X", "0", "1", "H", "W", "W", "H", "X"],  # H
+        ["U", "X", "X", "X", "X", "X", "X", "X", "X"],  # -
+    ]
+
+    _INDEX = {value: index for index, value in enumerate(VALUES)}
+
+    @staticmethod
+    def validate(value: str) -> str:
+        if value not in Logic9.VALUES:
+            raise ValueError(f"not a 9-value logic level: {value!r}")
+        return value
+
+    @classmethod
+    def resolve(cls, a: str, b: str) -> str:
+        return cls._RESOLUTION[cls._INDEX[a]][cls._INDEX[b]]
+
+    @classmethod
+    def resolve_many(cls, values: Iterable[str]) -> str:
+        result = "Z"
+        for value in values:
+            result = cls.resolve(result, value)
+        return result
+
+    @staticmethod
+    def to_binary(value: str) -> str:
+        """Collapse to 0/1/x for logic evaluation (X01 subtype view)."""
+        if value in ("0", "L"):
+            return "0"
+        if value in ("1", "H"):
+            return "1"
+        return "x"
+
+
+#: Correct 9 -> 4 projection: weak levels keep their driven sense, true
+#: high-impedance stays z, everything uninitialized/unknown becomes x.
+_TO4: Dict[str, str] = {
+    "U": "x", "X": "x", "0": "0", "1": "1",
+    "Z": "z", "W": "x", "L": "0", "H": "1", "-": "x",
+}
+
+#: Correct 4 -> 9 embedding.
+_TO9: Dict[str, str] = {"0": "0", "1": "1", "x": "X", "z": "Z"}
+
+#: The historically buggy projection: everything not strongly driven is
+#: forced to 0 — the kind of shortcut the paper says made co-simulation
+#: "fall short of its targets".
+_NAIVE_TO4: Dict[str, str] = {
+    "U": "0", "X": "0", "0": "0", "1": "1",
+    "Z": "0", "W": "0", "L": "0", "H": "1", "-": "0",
+}
+
+
+def to4(value: str) -> str:
+    """Project a 9-value level onto the 4-value set (correct mapping)."""
+    Logic9.validate(value)
+    return _TO4[value]
+
+
+def to9(value: str) -> str:
+    """Embed a 4-value level into the 9-value set."""
+    Logic4.validate(value)
+    return _TO9[value]
+
+
+def naive_to4(value: str) -> str:
+    """The broken legacy projection (demonstrates co-sim failure modes)."""
+    Logic9.validate(value)
+    return _NAIVE_TO4[value]
+
+
+def roundtrip_fidelity() -> Tuple[int, int]:
+    """(preserved, total) count of 9-value levels whose *binary sense*
+    survives 9->4->9 under the correct mapping.
+
+    The binary sense of a level is ``Logic9.to_binary``; U/X/W/- have no
+    sense and are trivially preserved by mapping to X.
+    """
+    preserved = 0
+    for value in Logic9.VALUES:
+        back = to9(to4(value))
+        if Logic9.to_binary(back) == Logic9.to_binary(value):
+            preserved += 1
+    return preserved, len(Logic9.VALUES)

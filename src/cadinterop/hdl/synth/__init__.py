@@ -1,0 +1,68 @@
+"""Synthesis interoperability: subsets, sensitivity semantics, netlisting,
+constraint dialects (paper Section 3.2)."""
+
+from cadinterop.hdl.synth.constraints import (
+    ALL_DIALECTS,
+    ConstraintDialect,
+    ConstraintSet,
+    DialectCsvLike,
+    DialectIniLike,
+    DialectSdcLike,
+    migrate_constraints,
+)
+from cadinterop.hdl.synth.sensitivity import (
+    MismatchReport,
+    SensitivityFinding,
+    analyze,
+    analyze_block,
+    simulation_synthesis_mismatch,
+    synthesis_interpretation,
+)
+from cadinterop.hdl.synth.subset import (
+    ALL_FEATURES,
+    DEFAULT_VENDORS,
+    PortabilityReport,
+    SubsetProfile,
+    SYNTH_A,
+    SYNTH_B,
+    SYNTH_C,
+    extract_features,
+    intersection,
+    portability_report,
+    written_in_intersection,
+)
+from cadinterop.hdl.synth.synthesize import (
+    SynthesisError,
+    SynthesisResult,
+    synthesize,
+)
+
+__all__ = [
+    "ALL_DIALECTS",
+    "ALL_FEATURES",
+    "ConstraintDialect",
+    "ConstraintSet",
+    "DEFAULT_VENDORS",
+    "DialectCsvLike",
+    "DialectIniLike",
+    "DialectSdcLike",
+    "MismatchReport",
+    "PortabilityReport",
+    "SYNTH_A",
+    "SYNTH_B",
+    "SYNTH_C",
+    "SensitivityFinding",
+    "SubsetProfile",
+    "SynthesisError",
+    "SynthesisResult",
+    "analyze",
+    "analyze_block",
+    "extract_features",
+    "intersection",
+    "migrate_constraints",
+    "portability_report",
+    "simulation_synthesis_mismatch",
+    "synthesis_interpretation",
+    "synthesize",
+    "written_in_intersection",
+]

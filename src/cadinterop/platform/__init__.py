@@ -1,0 +1,54 @@
+"""Hardware/software platform transportability (paper Section 3.4)."""
+
+from cadinterop.platform.accel import (
+    ACCEL_BOX,
+    ALL_BOXES,
+    AcceleratorInterface,
+    EMU_BOX,
+    Workstation,
+    migration_cost,
+)
+from cadinterop.platform.hosts import (
+    ALL_HOSTS,
+    HostProfile,
+    HPUX_LIKE,
+    INTENTS,
+    PC_LIKE,
+    SOLARIS_LIKE,
+    SUNOS4_LIKE,
+    command_matrix,
+    divergent_intents,
+    portable_intents,
+)
+from cadinterop.platform.scripts import (
+    ScriptFinding,
+    check_script,
+    is_portable,
+    translate_script,
+)
+from cadinterop.platform.versions import ReleaseEvent, ReleaseTracker
+
+__all__ = [
+    "ACCEL_BOX",
+    "ALL_BOXES",
+    "ALL_HOSTS",
+    "AcceleratorInterface",
+    "EMU_BOX",
+    "HPUX_LIKE",
+    "HostProfile",
+    "INTENTS",
+    "PC_LIKE",
+    "ReleaseEvent",
+    "ReleaseTracker",
+    "SOLARIS_LIKE",
+    "SUNOS4_LIKE",
+    "ScriptFinding",
+    "Workstation",
+    "check_script",
+    "command_matrix",
+    "divergent_intents",
+    "is_portable",
+    "migration_cost",
+    "portable_intents",
+    "translate_script",
+]

@@ -1,0 +1,122 @@
+"""Host platform profiles: the nonstandard-commands problem.
+
+Section 3.4 ("Nonstandard operating system commands"): "Certain system
+commands for identification of hostname, hostid, and Ethernet id are
+different across different versions of UNIX.  Similarly, the commands for
+creation and expansion of swap space and for accessing remote file systems
+vary across platforms.  This lack of standardization makes system
+administration harder to perform."
+
+Each :class:`HostProfile` maps *administrative intents* (get-hostname,
+get-hostid, add-swap, mount-remote, ...) to that flavor's concrete command
+line.  :func:`command_matrix` tabulates the divergence, and
+:func:`portable_intents` shows how little survives everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: The administrative intents a CAD system administrator needs everywhere.
+INTENTS: Tuple[str, ...] = (
+    "get-hostname",
+    "get-hostid",
+    "get-ethernet-id",
+    "add-swap",
+    "mount-remote",
+    "list-processes",
+)
+
+
+@dataclass(frozen=True)
+class HostProfile:
+    """One UNIX flavor's command vocabulary."""
+
+    name: str
+    commands: Dict[str, str] = field(default_factory=dict)
+    shell: str = "/bin/sh"
+    path_separator: str = ":"
+
+    def command_for(self, intent: str) -> Optional[str]:
+        return self.commands.get(intent)
+
+    def supports(self, intent: str) -> bool:
+        return intent in self.commands
+
+
+SUNOS4_LIKE = HostProfile(
+    "sunos4-like",
+    {
+        "get-hostname": "hostname",
+        "get-hostid": "hostid",
+        "get-ethernet-id": "ifconfig le0",
+        "add-swap": "mkfile 64m /swapfile && swapon /swapfile",
+        "mount-remote": "mount -t nfs server:/vol /mnt",
+        "list-processes": "ps aux",
+    },
+)
+
+SOLARIS_LIKE = HostProfile(
+    "solaris-like",
+    {
+        "get-hostname": "uname -n",
+        "get-hostid": "hostid",
+        "get-ethernet-id": "ifconfig hme0",
+        "add-swap": "mkfile 64m /swapfile && swap -a /swapfile",
+        "mount-remote": "mount -F nfs server:/vol /mnt",
+        "list-processes": "ps -ef",
+    },
+)
+
+HPUX_LIKE = HostProfile(
+    "hpux-like",
+    {
+        "get-hostname": "hostname",
+        "get-hostid": "uname -i",
+        "get-ethernet-id": "lanscan",
+        "add-swap": "swapon /dev/vg00/lvol8",
+        "mount-remote": "mount -F nfs server:/vol /mnt",
+        "list-processes": "ps -ef",
+    },
+)
+
+PC_LIKE = HostProfile(
+    "pc-like",
+    {
+        "get-hostname": "hostname",
+        "list-processes": "tasklist",
+    },
+    shell="command.com",
+    path_separator=";",
+)
+
+ALL_HOSTS: Tuple[HostProfile, ...] = (SUNOS4_LIKE, SOLARIS_LIKE, HPUX_LIKE, PC_LIKE)
+
+
+def command_matrix(hosts: Tuple[HostProfile, ...] = ALL_HOSTS) -> Dict[str, Dict[str, Optional[str]]]:
+    """intent -> host -> command (None if the host has no equivalent)."""
+    return {
+        intent: {host.name: host.command_for(intent) for host in hosts}
+        for intent in INTENTS
+    }
+
+
+def portable_intents(hosts: Tuple[HostProfile, ...] = ALL_HOSTS) -> List[str]:
+    """Intents whose command line is IDENTICAL on every host."""
+    portable: List[str] = []
+    for intent in INTENTS:
+        commands = {host.command_for(intent) for host in hosts}
+        if len(commands) == 1 and None not in commands:
+            portable.append(intent)
+    return portable
+
+
+def divergent_intents(hosts: Tuple[HostProfile, ...] = ALL_HOSTS) -> List[str]:
+    """Intents every host supports, but each with a different spelling."""
+    divergent: List[str] = []
+    for intent in INTENTS:
+        commands = [host.command_for(intent) for host in hosts]
+        if None not in commands and len(set(commands)) > 1:
+            divergent.append(intent)
+    return divergent

@@ -1,0 +1,101 @@
+"""IC floorplanning and place-and-route interoperability (paper Section 4).
+
+Cell abstracts with the full pin-data vocabulary (including blockage-derived
+access directions), a floorplanner with per-net topology rules, a grid
+router that honors them, parasitics extraction, three P&R tool dialects
+with unequal feature matrices, and the backplane that conveys neutral
+intent to each — logging exactly what every tool drops.
+"""
+
+from cadinterop.pnr.backplane import FlowResult, ToolInput, convey, run_flow
+from cadinterop.pnr.cells import (
+    ACCESS_DIRECTIONS,
+    Blockage,
+    CellAbstract,
+    CellLibrary,
+    CellPin,
+    ConnectionProps,
+    PinShape,
+    derive_access_from_blockages,
+    effective_access,
+)
+from cadinterop.pnr.design import (
+    PnRDesign,
+    PnRInstance,
+    inst_terminal,
+    pad_terminal,
+)
+from cadinterop.pnr.dialects import (
+    ALL_TOOLS,
+    PnRDialect,
+    TOOL_P,
+    TOOL_Q,
+    TOOL_R,
+    feature_matrix,
+    universally_supported,
+)
+from cadinterop.pnr.floorplan import (
+    Block,
+    Floorplan,
+    GlobalNetStrategy,
+    Keepout,
+    NetRule,
+    PinConstraint,
+)
+from cadinterop.pnr.parasitics import (
+    NetParasitics,
+    ParasiticReport,
+    TopologyComparison,
+    extract,
+)
+from cadinterop.pnr.placement import PlacementResult, RowPlacer, hpwl
+from cadinterop.pnr.routing import GridRouter, RoutedNet, RoutingResult, SHIELD
+from cadinterop.pnr.tech import Layer, Site, Technology, generic_two_layer_tech
+
+__all__ = [
+    "ACCESS_DIRECTIONS",
+    "ALL_TOOLS",
+    "Block",
+    "Blockage",
+    "CellAbstract",
+    "CellLibrary",
+    "CellPin",
+    "ConnectionProps",
+    "Floorplan",
+    "FlowResult",
+    "GlobalNetStrategy",
+    "GridRouter",
+    "Keepout",
+    "Layer",
+    "NetParasitics",
+    "NetRule",
+    "ParasiticReport",
+    "PinConstraint",
+    "PinShape",
+    "PlacementResult",
+    "PnRDesign",
+    "PnRDialect",
+    "PnRInstance",
+    "RoutedNet",
+    "RoutingResult",
+    "RowPlacer",
+    "SHIELD",
+    "Site",
+    "TOOL_P",
+    "TOOL_Q",
+    "TOOL_R",
+    "Technology",
+    "ToolInput",
+    "TopologyComparison",
+    "convey",
+    "derive_access_from_blockages",
+    "effective_access",
+    "extract",
+    "feature_matrix",
+    "generic_two_layer_tech",
+    "hpwl",
+    "inst_terminal",
+    "pad_terminal",
+    "run_flow",
+    "universally_supported",
+]

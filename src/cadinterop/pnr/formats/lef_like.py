@@ -1,0 +1,148 @@
+"""LEF-like cell abstract exchange format (reader/writer).
+
+A line-oriented synthetic stand-in for the industry's cell-abstract
+exchange files.  Deliberately complete for the model in
+:mod:`cadinterop.pnr.cells` — boundary, site, legal orientations, pin
+shapes, access-direction properties, the four connection properties, and
+blockages — so round-tripping a library through text exercises the same
+code paths real flows do.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from cadinterop.common.geometry import Orientation, Rect
+from cadinterop.pnr.cells import (
+    Blockage,
+    CellAbstract,
+    CellLibrary,
+    CellPin,
+    ConnectionProps,
+    PinShape,
+)
+
+
+class LefFormatError(ValueError):
+    """Malformed LEF-like text."""
+
+
+def dump_library(library: CellLibrary) -> str:
+    lines = [f"LIBRARY {library.name}"]
+    for cell in library.cells():
+        lines.append(
+            f"CELL {cell.name} {cell.width} {cell.height} {cell.site} {cell.kind}"
+        )
+        lines.append("ORIENT " + " ".join(o.value for o in cell.legal_orientations))
+        for pin in cell.pins:
+            lines.append(f"PIN {pin.name} {pin.use}")
+            for shape in pin.shapes:
+                rect = shape.rect
+                lines.append(f"SHAPE {shape.layer} {rect.x1} {rect.y1} {rect.x2} {rect.y2}")
+            props = pin.props
+            if props.access is not None:
+                lines.append("ACCESS " + " ".join(sorted(props.access)))
+            flags = []
+            if props.multiple_connect:
+                flags.append("multiple")
+            if props.must_connect:
+                flags.append("must")
+            if props.connect_by_abutment:
+                flags.append("abut")
+            if flags:
+                lines.append("CONN " + " ".join(flags))
+            if props.equivalent_group:
+                lines.append(f"EQUIV {props.equivalent_group}")
+            lines.append("ENDPIN")
+        for blockage in cell.blockages:
+            rect = blockage.rect
+            lines.append(f"BLOCK {blockage.layer} {rect.x1} {rect.y1} {rect.x2} {rect.y2}")
+        lines.append("ENDCELL")
+    lines.append("ENDLIBRARY")
+    return "\n".join(lines) + "\n"
+
+
+def load_library(text: str) -> CellLibrary:
+    lines = [l.strip() for l in text.splitlines() if l.strip() and not l.startswith("#")]
+    if not lines or not lines[0].startswith("LIBRARY "):
+        raise LefFormatError("missing LIBRARY header")
+    library = CellLibrary(lines[0].split()[1])
+    index = 1
+    while index < len(lines):
+        line = lines[index]
+        if line == "ENDLIBRARY":
+            return library
+        fields = line.split()
+        if fields[0] != "CELL":
+            raise LefFormatError(f"expected CELL, got {line!r}")
+        name = fields[1]
+        width, height = int(fields[2]), int(fields[3])
+        site, kind = fields[4], fields[5]
+        orientations: List[Orientation] = [Orientation.R0]
+        pins: List[CellPin] = []
+        blockages: List[Blockage] = []
+        index += 1
+        while index < len(lines) and lines[index] != "ENDCELL":
+            fields = lines[index].split()
+            keyword = fields[0]
+            if keyword == "ORIENT":
+                orientations = [Orientation(v) for v in fields[1:]]
+                index += 1
+            elif keyword == "PIN":
+                pin_name, use = fields[1], fields[2]
+                shapes: List[PinShape] = []
+                access = None
+                multiple = must = abut = False
+                equivalent: Optional[str] = None
+                index += 1
+                while index < len(lines) and lines[index] != "ENDPIN":
+                    sub = lines[index].split()
+                    if sub[0] == "SHAPE":
+                        shapes.append(
+                            PinShape(sub[1], Rect(int(sub[2]), int(sub[3]), int(sub[4]), int(sub[5])))
+                        )
+                    elif sub[0] == "ACCESS":
+                        access = frozenset(sub[1:])
+                    elif sub[0] == "CONN":
+                        multiple = "multiple" in sub
+                        must = "must" in sub
+                        abut = "abut" in sub
+                    elif sub[0] == "EQUIV":
+                        equivalent = sub[1]
+                    else:
+                        raise LefFormatError(f"unexpected pin record {lines[index]!r}")
+                    index += 1
+                if index >= len(lines):
+                    raise LefFormatError("unterminated PIN")
+                index += 1  # skip ENDPIN
+                pins.append(
+                    CellPin(
+                        pin_name,
+                        shapes,
+                        ConnectionProps(
+                            access=access,
+                            multiple_connect=multiple,
+                            equivalent_group=equivalent,
+                            must_connect=must,
+                            connect_by_abutment=abut,
+                        ),
+                        use=use,
+                    )
+                )
+            elif keyword == "BLOCK":
+                blockages.append(
+                    Blockage(fields[1], Rect(int(fields[2]), int(fields[3]), int(fields[4]), int(fields[5])))
+                )
+                index += 1
+            else:
+                raise LefFormatError(f"unexpected cell record {lines[index]!r}")
+        if index >= len(lines):
+            raise LefFormatError("unterminated CELL")
+        index += 1  # skip ENDCELL
+        library.add(
+            CellAbstract(
+                name=name, width=width, height=height, site=site, kind=kind,
+                legal_orientations=tuple(orientations), pins=pins, blockages=blockages,
+            )
+        )
+    raise LefFormatError("missing ENDLIBRARY")

@@ -1,0 +1,81 @@
+"""PDEF-like placement-constraint exchange format.
+
+Section 4 names PDEF as one of the few standardization efforts: "there have
+been efforts to create standards such as PDEF to support some timing
+related placement".  This synthetic equivalent carries exactly that scope —
+placement clusters and per-net timing weights — and *nothing else*, which
+is the point: a PDEF-like file cannot express the rest of the floorplan
+intent, so the backplane still has work to do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class PdefFormatError(ValueError):
+    """Malformed PDEF-like text."""
+
+
+@dataclass
+class PlacementConstraints:
+    """Timing-driven placement hints: clusters and net weights."""
+
+    design: str
+    clusters: Dict[str, List[str]] = field(default_factory=dict)
+    net_weights: Dict[str, float] = field(default_factory=dict)
+
+    def add_cluster(self, name: str, members: List[str]) -> None:
+        if name in self.clusters:
+            raise ValueError(f"duplicate cluster {name!r}")
+        self.clusters[name] = list(members)
+
+    def weight(self, net: str) -> float:
+        return self.net_weights.get(net, 1.0)
+
+
+def dump(constraints: PlacementConstraints) -> str:
+    lines = [f"PDEF {constraints.design}"]
+    for name, members in constraints.clusters.items():
+        lines.append(f"CLUSTER {name}")
+        for member in members:
+            lines.append(f"  MEMBER {member}")
+        lines.append("ENDCLUSTER")
+    for net, weight in sorted(constraints.net_weights.items()):
+        lines.append(f"NETWEIGHT {net} {weight}")
+    lines.append("END")
+    return "\n".join(lines) + "\n"
+
+
+def load(text: str) -> PlacementConstraints:
+    lines = [l.strip() for l in text.splitlines() if l.strip() and not l.startswith("#")]
+    if not lines or not lines[0].startswith("PDEF "):
+        raise PdefFormatError("missing PDEF header")
+    constraints = PlacementConstraints(lines[0].split()[1])
+    index = 1
+    while index < len(lines):
+        line = lines[index]
+        fields = line.split()
+        if line == "END":
+            return constraints
+        if fields[0] == "CLUSTER":
+            name = fields[1]
+            members: List[str] = []
+            index += 1
+            while index < len(lines) and lines[index] != "ENDCLUSTER":
+                sub = lines[index].split()
+                if sub[0] != "MEMBER":
+                    raise PdefFormatError(f"expected MEMBER, got {lines[index]!r}")
+                members.append(sub[1])
+                index += 1
+            if index >= len(lines):
+                raise PdefFormatError("unterminated CLUSTER")
+            constraints.add_cluster(name, members)
+            index += 1
+        elif fields[0] == "NETWEIGHT":
+            constraints.net_weights[fields[1]] = float(fields[2])
+            index += 1
+        else:
+            raise PdefFormatError(f"unexpected record {line!r}")
+    raise PdefFormatError("missing END")

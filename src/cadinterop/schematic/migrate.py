@@ -1,0 +1,297 @@
+"""The migration pipeline: source dialect -> target dialect, end to end.
+
+This orchestrates every Section 2 step in the order the consulting work
+performed them:
+
+1. **Scaling** — rescale all geometry from the source grid to the target
+   grid (:mod:`cadinterop.schematic.gridmap`); unmapped symbol masters are
+   scaled copies, so connectivity is preserved exactly.
+2. **Symbol replacement** — swap mapped components for native target
+   masters, ripping up and rerouting the minimum number of net segments
+   (:mod:`cadinterop.schematic.ripup`, paper Figure 1).
+3. **Property mapping** — standard declarative rules plus non-standard a/L
+   callbacks (:mod:`cadinterop.schematic.propertymap`).
+4. **Global mapping** — native power/ground symbols and net-name
+   conventions (:mod:`cadinterop.schematic.globals_`).
+5. **Bus syntax translation** — condensed -> explicit references, postfix
+   folding (:mod:`cadinterop.schematic.busnotation`).
+6. **Connector synthesis** — explicit hierarchy and off-page connectors
+   where the target dialect demands them
+   (:mod:`cadinterop.schematic.connectors`).
+7. **Cosmetics** — font scaling and baseline correction
+   (:mod:`cadinterop.schematic.text`).
+8. **Verification** — independent netlist comparison
+   (:mod:`cadinterop.schematic.verify`), because "design data translations
+   must be independently verified".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from cadinterop.common.diagnostics import Category, IssueLog, Severity
+from cadinterop.schematic.busnotation import declared_buses_of, translate_net_name
+from cadinterop.schematic.connectors import (
+    ConnectorReport,
+    insert_hierarchy_connectors,
+    insert_offpage_connectors,
+)
+from cadinterop.schematic.dialects import Dialect, get_dialect
+from cadinterop.schematic.globals_ import GlobalMap, rename_global_nets
+from cadinterop.schematic.gridmap import ScalingReport, rescale_schematic, scale_symbol
+from cadinterop.schematic.model import (
+    Instance,
+    LibrarySet,
+    Page,
+    Port,
+    Schematic,
+    Symbol,
+    TextLabel,
+    Wire,
+)
+from cadinterop.schematic.propertymap import PropertyRuleSet
+from cadinterop.schematic.ripup import BatchReplacementReport, replace_component
+from cadinterop.schematic.symbolmap import SymbolKey, SymbolMap
+from cadinterop.schematic.text import TextAdjustReport, adjust_labels
+from cadinterop.schematic.verify import VerificationResult, verify_migration
+
+
+@dataclass
+class MigrationPlan:
+    """Everything a migration run needs, assembled up front.
+
+    ``symbol_map`` origin offsets and rotations are expressed in *target*
+    units (they are applied after scaling).
+    """
+
+    source_dialect: Dialect
+    target_dialect: Dialect
+    source_libraries: LibrarySet
+    target_libraries: LibrarySet
+    symbol_map: SymbolMap = field(default_factory=SymbolMap)
+    property_rules: PropertyRuleSet = field(default_factory=PropertyRuleSet)
+    global_map: GlobalMap = field(default_factory=GlobalMap)
+    verify: bool = True
+    replacement_strategy: str = "minimal"
+
+    def validate(self) -> IssueLog:
+        """Pre-flight validation of the mapping tables against libraries."""
+        log = self.symbol_map.validate(self.source_libraries, self.target_libraries)
+        names = self.target_dialect.connectors
+        for symbol_name in (
+            names.hier_in, names.hier_out, names.hier_inout, names.offpage,
+        ):
+            if not self.target_libraries.has(names.library, symbol_name):
+                log.add(
+                    Severity.ERROR, Category.STRUCTURE_MAPPING,
+                    f"{names.library}/{symbol_name}",
+                    "target connector symbol missing from target libraries",
+                    remedy="install the native connector library before migrating",
+                )
+        return log
+
+
+@dataclass
+class MigrationResult:
+    """The translated schematic plus full accounting."""
+
+    schematic: Schematic
+    log: IssueLog
+    scaling: ScalingReport
+    replacements: BatchReplacementReport
+    connectors: ConnectorReport
+    text: TextAdjustReport
+    bus_renames: Dict[str, str]
+    verification: Optional[VerificationResult] = None
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing needs manual post-translation cleanup."""
+        verified = self.verification.equivalent if self.verification else True
+        return verified and not self.log.has_errors()
+
+
+def copy_schematic(schematic: Schematic) -> Schematic:
+    """Deep-copy a schematic cell (symbol masters are shared, geometry not)."""
+    clone = Schematic(
+        schematic.name,
+        schematic.dialect,
+        ports=[Port(port.name, port.direction) for port in schematic.ports],
+        properties=schematic.properties.copy(),
+    )
+    for page in schematic.pages:
+        new_page = clone.add_page(page.frame)
+        for instance in page.instances:
+            new_page.add_instance(
+                Instance(
+                    name=instance.name,
+                    symbol=instance.symbol,
+                    transform=instance.transform,
+                    properties=instance.properties.copy(),
+                )
+            )
+        for wire in page.wires:
+            new_page.add_wire(
+                Wire(list(wire.points), label=wire.label, label_position=wire.label_position)
+            )
+        for label in page.labels:
+            new_page.add_label(
+                TextLabel(
+                    text=label.text,
+                    position=label.position,
+                    height=label.height,
+                    width_per_char=label.width_per_char,
+                    baseline_offset=label.baseline_offset,
+                )
+            )
+    return clone
+
+
+class Migrator:
+    """Executes a :class:`MigrationPlan` on schematic cells."""
+
+    def __init__(self, plan: MigrationPlan) -> None:
+        self.plan = plan
+        self._scaled_symbols: Dict[Tuple[str, str, str], Symbol] = {}
+
+    def migrate(self, source: Schematic) -> MigrationResult:
+        """Translate one schematic cell; the source object is not modified."""
+        plan = self.plan
+        log = IssueLog()
+        preflight = plan.validate()
+        log.merge(preflight)
+
+        working = copy_schematic(source)
+
+        # Fold global rules into the symbol map (idempotent).
+        plan.global_map.extend_symbol_map(plan.symbol_map)
+
+        # Step 1: scaling.
+        scaling = rescale_schematic(working, plan.source_dialect, plan.target_dialect, log)
+        factor = scaling.factor
+        # Every instance switches to a scaled master so its pins track the
+        # scaled wires; mapped instances are then swapped for native target
+        # masters in step 2 (rip-up works against the scaled positions).
+        for page in working.pages:
+            for instance in page.instances:
+                mapped = plan.symbol_map.lookup(SymbolKey.of(instance.symbol))
+                instance.symbol = self._scaled_symbol(instance.symbol, factor)
+                if mapped is None:
+                    log.add(
+                        Severity.NOTE, Category.SCALING, instance.name,
+                        f"no replacement mapping for {instance.symbol.full_name}; "
+                        "symbol geometry scaled in place",
+                        remedy="add a symbol map entry to use a native target master",
+                    )
+
+        # Step 2: component replacement with minimal rip-up.
+        replacements = BatchReplacementReport()
+        for page in working.pages:
+            for instance_name in [i.name for i in page.instances]:
+                instance = page.instance(instance_name)
+                mapping = plan.symbol_map.lookup(SymbolKey.of(instance.symbol))
+                if mapping is None:
+                    continue
+                target_symbol = plan.target_libraries.resolve(
+                    mapping.target.library, mapping.target.name, mapping.target.view
+                )
+                stats = replace_component(
+                    page, instance_name, mapping, target_symbol, log,
+                    strategy=plan.replacement_strategy,
+                )
+                replacements.add(stats)
+
+        # Step 3: property mapping (declarative rules + a/L callbacks).
+        # Design-level callbacks run first: they can see every page.
+        plan.property_rules.apply_to_design(
+            working, log, context={"cell": working.name}
+        )
+        for page in working.pages:
+            for instance in page.instances:
+                plan.property_rules.apply_to_instance(
+                    instance,
+                    SymbolKey.of(instance.symbol),
+                    log,
+                    context={"page": page.number, "cell": working.name},
+                )
+
+        # Step 4: global net renaming to native conventions.
+        rename_global_nets(working, plan.global_map, log)
+
+        # Step 5: bus syntax translation on all wire labels.
+        bus_renames: Dict[str, str] = {}
+        all_labels = [
+            wire.label for _page, wire in working.all_wires() if wire.label
+        ]
+        declared = declared_buses_of(all_labels, plan.source_dialect.bus_syntax)
+        for _page, wire in working.all_wires():
+            if not wire.label:
+                continue
+            translated, _rules = translate_net_name(
+                wire.label,
+                plan.source_dialect.bus_syntax,
+                plan.target_dialect.bus_syntax,
+                declared,
+                log,
+            )
+            if translated != wire.label:
+                bus_renames[wire.label] = translated
+                wire.label = translated
+        # Port names obey the same grammar and must stay in sync with the
+        # labels of the nets they bind to.
+        for port in working.ports:
+            translated, _rules = translate_net_name(
+                port.name,
+                plan.source_dialect.bus_syntax,
+                plan.target_dialect.bus_syntax,
+                declared,
+                log,
+            )
+            if translated != port.name:
+                bus_renames[port.name] = translated
+                port.name = translated
+
+        # Step 6: connector synthesis where the target dialect demands it.
+        connector_report = ConnectorReport()
+        if (
+            plan.target_dialect.requires_offpage_connectors
+            and plan.source_dialect.implicit_cross_page_by_name
+        ):
+            insert_offpage_connectors(
+                working, plan.target_dialect, plan.target_libraries, log, connector_report
+            )
+        if plan.target_dialect.requires_hier_connectors and working.ports:
+            insert_hierarchy_connectors(
+                working, plan.target_dialect, plan.target_libraries, log, connector_report
+            )
+
+        # Step 7: cosmetic text adjustment.
+        text_report = adjust_labels(working, plan.source_dialect, plan.target_dialect, log)
+
+        working.dialect = plan.target_dialect.name
+
+        # Step 8: independent verification.
+        verification: Optional[VerificationResult] = None
+        if plan.verify:
+            verification = verify_migration(
+                source, working, plan.symbol_map, plan.global_map
+            )
+            log.merge(verification.log)
+
+        return MigrationResult(
+            schematic=working,
+            log=log,
+            scaling=scaling,
+            replacements=replacements,
+            connectors=connector_report,
+            text=text_report,
+            bus_renames=bus_renames,
+            verification=verification,
+        )
+
+    def _scaled_symbol(self, symbol: Symbol, factor) -> Symbol:
+        key = (symbol.library, symbol.name, symbol.view)
+        if key not in self._scaled_symbols:
+            self._scaled_symbols[key] = scale_symbol(symbol, factor)
+        return self._scaled_symbols[key]

@@ -1,0 +1,329 @@
+"""Connectivity extraction from schematic geometry.
+
+Schematic editors define connectivity geometrically: wires that touch are
+one electrical net, a pin is connected to the wire passing through its
+location, labels name nets, and — depending on dialect — nets on different
+pages join either implicitly by sharing a name (Viewdraw-like) or only
+through explicit off-page connector instances (Composer-like).  Global
+symbols (power/ground) join the global net of their name wherever placed.
+
+This extractor produces a :class:`Netlist` — net name -> set of
+(instance, pin) terminals — which is the canonical form that migration
+verification (:mod:`cadinterop.schematic.verify`) compares between source
+and translated designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from cadinterop.common.diagnostics import Category, IssueLog, Severity
+from cadinterop.common.geometry import Point
+from cadinterop.schematic.dialects import Dialect, get_dialect
+from cadinterop.schematic.model import Instance, Page, Schematic, Wire
+
+
+Terminal = Tuple[str, str]  # (instance name, pin name)
+
+
+class _UnionFind:
+    """Plain union-find over arbitrary hashable keys."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[object, object] = {}
+
+    def add(self, key: object) -> None:
+        self._parent.setdefault(key, key)
+
+    def find(self, key: object) -> object:
+        self.add(key)
+        root = key
+        while self._parent[root] is not root:
+            root = self._parent[root]
+        while self._parent[key] is not root:
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, a: object, b: object) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra is not rb:
+            self._parent[rb] = ra
+
+    def groups(self) -> Dict[object, List[object]]:
+        result: Dict[object, List[object]] = {}
+        for key in self._parent:
+            result.setdefault(self.find(key), []).append(key)
+        return result
+
+
+@dataclass
+class Net:
+    """One extracted electrical net."""
+
+    name: str
+    terminals: Set[Terminal] = field(default_factory=set)
+    labels: Set[str] = field(default_factory=set)
+    pages: Set[int] = field(default_factory=set)
+    is_global: bool = False
+    wire_length: int = 0
+
+    @property
+    def terminal_count(self) -> int:
+        return len(self.terminals)
+
+
+class Netlist:
+    """Extracted nets keyed by name, plus extraction diagnostics."""
+
+    def __init__(self, cell_name: str) -> None:
+        self.cell_name = cell_name
+        self.nets: Dict[str, Net] = {}
+        self.log = IssueLog()
+
+    def net(self, name: str) -> Net:
+        return self.nets[name]
+
+    def add_net(self, net: Net) -> Net:
+        self.nets[net.name] = net
+        return net
+
+    def net_of_terminal(self, terminal: Terminal) -> Optional[Net]:
+        for net in self.nets.values():
+            if terminal in net.terminals:
+                return net
+        return None
+
+    def terminal_map(self) -> Dict[Terminal, str]:
+        mapping: Dict[Terminal, str] = {}
+        for net in self.nets.values():
+            for terminal in net.terminals:
+                mapping[terminal] = net.name
+        return mapping
+
+    def signature(self) -> FrozenSet[Tuple[FrozenSet[Terminal], bool]]:
+        """A name-free structural signature: the partition of terminals.
+
+        Two netlists with identical signatures have identical connectivity
+        even if every net was renamed — exactly what migration must
+        preserve.  Single-terminal nets are included: a dangling pin that
+        becomes connected (or vice versa) must change the signature.
+        """
+        return frozenset(
+            (frozenset(net.terminals), net.is_global)
+            for net in self.nets.values()
+            if net.terminals
+        )
+
+    def __len__(self) -> int:
+        return len(self.nets)
+
+
+def extract(schematic: Schematic, dialect: Optional[Dialect] = None) -> Netlist:
+    """Extract the netlist of one schematic cell.
+
+    ``dialect`` defaults to the schematic's own dialect and controls the
+    cross-page discipline and connector-symbol recognition.
+    """
+    active = dialect or get_dialect(schematic.dialect)
+    netlist = Netlist(schematic.name)
+    uf = _UnionFind()
+
+    # node keys: ("wire", page#, index) and ("pt", page#, x, y)
+    wire_nodes: Dict[Tuple[int, int], Wire] = {}
+
+    for page in schematic.pages:
+        for index, wire in enumerate(page.wires):
+            key = ("wire", page.number, index)
+            uf.add(key)
+            wire_nodes[(page.number, index)] = wire
+        # Merge wires that touch geometrically.
+        for i in range(len(page.wires)):
+            for j in range(i + 1, len(page.wires)):
+                if _wires_touch(page.wires[i], page.wires[j]):
+                    uf.union(("wire", page.number, i), ("wire", page.number, j))
+
+    # Attach instance pins to wires passing through their location; pins at
+    # identical locations connect by abutment even with no wire.
+    pin_terminals: Dict[Tuple[int, Point], List[Tuple[Terminal, Instance]]] = {}
+    for page in schematic.pages:
+        for instance in page.instances:
+            for pin_name, position in instance.pin_positions().items():
+                terminal = (instance.name, pin_name)
+                point_key = ("pt", page.number, position.x, position.y)
+                uf.add(point_key)
+                pin_terminals.setdefault((page.number, position), []).append((terminal, instance))
+                for index, wire in enumerate(page.wires):
+                    if wire.touches_point(position):
+                        uf.union(point_key, ("wire", page.number, index))
+
+    groups = uf.groups()
+
+    # Build provisional nets from connected groups.
+    provisional: List[Net] = []
+    for members in groups.values():
+        net = Net(name="")
+        for member in members:
+            kind = member[0]
+            if kind == "wire":
+                _, page_number, index = member
+                wire = wire_nodes[(page_number, index)]
+                net.pages.add(page_number)
+                net.wire_length += wire.length()
+                if wire.label:
+                    net.labels.add(wire.label)
+            else:
+                _, page_number, x, y = member
+                for terminal, _instance in pin_terminals.get((page_number, Point(x, y)), []):
+                    net.terminals.add(terminal)
+                net.pages.add(page_number)
+        if net.terminals or net.labels or net.wire_length:
+            provisional.append(net)
+
+    # Handle connector instances: their single pin joins the net at its
+    # location (already done geometrically); the *meaning* differs by kind.
+    global_binding: Dict[int, str] = {}  # provisional index -> global net name
+    offpage_binding: Dict[int, str] = {}
+    hier_binding: Dict[int, str] = {}
+
+    def provisional_index_of(terminal: Terminal) -> Optional[int]:
+        for idx, net in enumerate(provisional):
+            if terminal in net.terminals:
+                return idx
+        return None
+
+    for page in schematic.pages:
+        for instance in page.instances:
+            kind = instance.symbol.kind
+            if kind == "component":
+                continue
+            signal = str(
+                instance.properties.get("signal")
+                or instance.properties.get("net")
+                or instance.symbol.name
+            )
+            for pin_name in instance.symbol.pin_names():
+                idx = provisional_index_of((instance.name, pin_name))
+                if idx is None:
+                    netlist.log.add(
+                        Severity.WARNING, Category.CONNECTIVITY, instance.name,
+                        f"{kind} connector pin {pin_name!r} is not attached to anything",
+                    )
+                    continue
+                if kind == "global":
+                    global_binding[idx] = signal
+                elif kind == "offpage_connector":
+                    offpage_binding[idx] = signal
+                elif kind == "hier_connector":
+                    hier_binding[idx] = signal
+
+    # Merge nets by binding name: globals always; off-page connectors in
+    # explicit dialects; same-label nets across pages in implicit dialects.
+    merge_uf = _UnionFind()
+    for idx in range(len(provisional)):
+        merge_uf.add(idx)
+
+    def merge_by(binding: Dict[int, str]) -> None:
+        by_name: Dict[str, int] = {}
+        for idx, name in binding.items():
+            if name in by_name:
+                merge_uf.union(by_name[name], idx)
+            else:
+                by_name[name] = idx
+
+    merge_by(global_binding)
+    merge_by(offpage_binding)
+
+    if active.implicit_cross_page_by_name:
+        by_label: Dict[str, int] = {}
+        for idx, net in enumerate(provisional):
+            for label in net.labels:
+                if label in by_label:
+                    merge_uf.union(by_label[label], idx)
+                else:
+                    by_label[label] = idx
+
+    # Hierarchy connectors bind a net to a schematic port name.
+    port_names = {port.name for port in schematic.ports}
+
+    merged: Dict[object, Net] = {}
+    for idx, net in enumerate(provisional):
+        root = merge_uf.find(idx)
+        if root not in merged:
+            merged[root] = Net(name="")
+        target = merged[root]
+        target.terminals |= net.terminals
+        target.labels |= net.labels
+        target.pages |= net.pages
+        target.wire_length += net.wire_length
+        if idx in global_binding:
+            target.is_global = True
+            target.labels.add(global_binding[idx])
+        if idx in offpage_binding:
+            target.labels.add(offpage_binding[idx])
+        if idx in hier_binding:
+            target.labels.add(hier_binding[idx])
+
+    # Name nets: prefer a label bound to a port, then any label, else synthesize.
+    counter = 0
+    used_names: Set[str] = set()
+    for net in merged.values():
+        port_labels = sorted(net.labels & port_names)
+        other_labels = sorted(net.labels - port_names)
+        if port_labels:
+            name = port_labels[0]
+        elif other_labels:
+            name = other_labels[0]
+        else:
+            counter += 1
+            name = f"unnamed${counter}"
+        if name in used_names:
+            netlist.log.add(
+                Severity.ERROR, Category.CONNECTIVITY, name,
+                "two disjoint nets carry the same name after extraction",
+                remedy="expected a single net; check off-page connector usage",
+            )
+            suffix = 2
+            while f"{name}${suffix}" in used_names:
+                suffix += 1
+            name = f"{name}${suffix}"
+        used_names.add(name)
+        net.name = name
+        netlist.add_net(net)
+        if len(net.labels) > 1 and not net.is_global:
+            netlist.log.add(
+                Severity.WARNING, Category.CONNECTIVITY, net.name,
+                f"net carries multiple labels {sorted(net.labels)}; shorted nets?",
+            )
+
+    # Implicit cross-page connection without labels cannot be resolved; in
+    # explicit dialects an unlabeled multi-page net is impossible by
+    # construction, but a same-name pair NOT joined by an off-page connector
+    # deserves a diagnostic because the implicit dialect would have joined it.
+    if not active.implicit_cross_page_by_name:
+        label_pages: Dict[str, Set[int]] = {}
+        for net in netlist.nets.values():
+            for label in net.labels:
+                label_pages.setdefault(label, set()).update(net.pages)
+        seen: Dict[str, int] = {}
+        for net in netlist.nets.values():
+            for label in net.labels:
+                seen[label] = seen.get(label, 0) + 1
+        for label, count in seen.items():
+            if count > 1:
+                netlist.log.add(
+                    Severity.ERROR, Category.CONNECTIVITY, label,
+                    f"label appears on {count} disjoint nets; {active.name} does not "
+                    "connect same-named nets implicitly",
+                    remedy="insert off-page connectors to make the connection explicit",
+                )
+
+    return netlist
+
+
+def _wires_touch(a: Wire, b: Wire) -> bool:
+    for seg_a in a.segments():
+        for seg_b in b.segments():
+            if seg_a.touches(seg_b):
+                return True
+    return False

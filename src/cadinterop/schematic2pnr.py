@@ -1,0 +1,168 @@
+"""Cross-section integration: schematics into place-and-route.
+
+The second half of the Exar story: once the schematics live in the target
+system, physical design consumes them.  This bridge extracts the geometric
+netlist from a schematic (Section 2 substrate) and lowers it onto a P&R
+cell library (Section 4 substrate) through explicit *bindings* — symbol
+(library, name) to cell name plus a pin-name map, because (of course) the
+schematic symbols and the layout abstracts disagree on pin names.  Every
+unbindable symbol or unmappable pin is reported, never dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from cadinterop.common.diagnostics import Category, IssueLog, Severity
+from cadinterop.pnr.cells import CellLibrary
+from cadinterop.pnr.design import PnRDesign, PnRInstance, inst_terminal, pad_terminal
+from cadinterop.schematic.dialects import get_dialect
+from cadinterop.schematic.model import Schematic
+from cadinterop.schematic.netlist import extract
+
+
+@dataclass(frozen=True)
+class CellBinding:
+    """One schematic symbol bound to one layout cell."""
+
+    symbol_library: str
+    symbol_name: str
+    cell_name: str
+    pin_map: Tuple[Tuple[str, str], ...] = ()  # (schematic pin, cell pin)
+
+    def map_pin(self, schematic_pin: str) -> str:
+        for source, target in self.pin_map:
+            if source == schematic_pin:
+                return target
+        return schematic_pin
+
+
+class BindingTable:
+    """All symbol->cell bindings for one technology."""
+
+    def __init__(self, bindings: Tuple[CellBinding, ...] = ()) -> None:
+        self._bindings: Dict[Tuple[str, str], CellBinding] = {}
+        for binding in bindings:
+            self.add(binding)
+
+    def add(self, binding: CellBinding) -> CellBinding:
+        key = (binding.symbol_library, binding.symbol_name)
+        if key in self._bindings:
+            raise ValueError(f"duplicate binding for {key}")
+        self._bindings[key] = binding
+        return binding
+
+    def lookup(self, library: str, name: str) -> Optional[CellBinding]:
+        return self._bindings.get((library, name))
+
+
+def sample_binding_table() -> BindingTable:
+    """Bindings from the Composer-like sample symbols to the P&R stdlib."""
+    table = BindingTable()
+    table.add(CellBinding("cd_basic", "nand2", "nand2",
+                          (("IN1", "A"), ("IN2", "B"), ("OUT", "Y"))))
+    table.add(CellBinding("cd_basic", "inv", "inv",
+                          (("IN", "A"), ("OUT", "Y"))))
+    return table
+
+
+@dataclass
+class SchematicConversion:
+    """Result of lowering a schematic into a P&R design."""
+
+    design: PnRDesign
+    port_pads: List[str] = field(default_factory=list)
+    global_nets: List[str] = field(default_factory=list)
+    log: IssueLog = field(default_factory=IssueLog)
+    skipped_instances: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.log.has_errors()
+
+
+def schematic_to_pnr(
+    schematic: Schematic,
+    bindings: BindingTable,
+    library: CellLibrary,
+    log: Optional[IssueLog] = None,
+) -> SchematicConversion:
+    """Lower one schematic cell onto a P&R library.
+
+    Connector and global symbols carry no layout cell; connector nets are
+    already merged by extraction, and global nets are reported (they route
+    via power strategies, not signal routing).  Ports become pads on their
+    named nets.
+    """
+    log = log if log is not None else IssueLog()
+    conversion = SchematicConversion(design=PnRDesign(schematic.name), log=log)
+    netlist = extract(schematic, get_dialect(schematic.dialect))
+    log.merge(netlist.log)
+
+    # Instances: bind each component symbol to a cell.
+    bound: Dict[str, CellBinding] = {}
+    for _page, instance in schematic.all_instances():
+        if instance.symbol.kind != "component":
+            continue
+        binding = bindings.lookup(instance.symbol.library, instance.symbol.name)
+        if binding is None:
+            conversion.skipped_instances.append(instance.name)
+            log.add(
+                Severity.ERROR, Category.STRUCTURE_MAPPING, instance.name,
+                f"no layout cell bound to symbol "
+                f"{instance.symbol.library}/{instance.symbol.name}",
+                remedy="extend the binding table",
+            )
+            continue
+        if binding.cell_name not in library:
+            log.add(
+                Severity.ERROR, Category.STRUCTURE_MAPPING, instance.name,
+                f"binding targets unknown cell {binding.cell_name!r}",
+            )
+            continue
+        cell = library.cell(binding.cell_name)
+        conversion.design.add_instance(PnRInstance(instance.name, cell))
+        bound[instance.name] = binding
+        # Validate the pin map against both sides.
+        for pin in instance.symbol.pins:
+            mapped = binding.map_pin(pin.name)
+            if not cell.has_pin(mapped):
+                log.add(
+                    Severity.ERROR, Category.NAME_MAPPING,
+                    f"{instance.name}.{pin.name}",
+                    f"symbol pin maps to {mapped!r}, absent on cell "
+                    f"{cell.name!r}",
+                    remedy="fix the binding's pin map",
+                )
+
+    port_names = {port.name for port in schematic.ports}
+    for net in netlist.nets.values():
+        terminals = []
+        for instance_name, pin_name in sorted(net.terminals):
+            binding = bound.get(instance_name)
+            if binding is None:
+                continue  # connector/global/unbound instance
+            mapped = binding.map_pin(pin_name)
+            cell = conversion.design.instance(instance_name).cell
+            if not cell.has_pin(mapped):
+                # Already reported during binding validation; keep the
+                # design constructible so every problem surfaces at once.
+                continue
+            terminals.append(inst_terminal(instance_name, mapped))
+        if net.is_global:
+            conversion.global_nets.append(net.name)
+            log.add(
+                Severity.NOTE, Category.CONNECTIVITY, net.name,
+                "global net excluded from signal routing (route via a "
+                "power/ground strategy)",
+            )
+            continue
+        matching_ports = sorted(net.labels & port_names)
+        for port in matching_ports:
+            terminals.append(pad_terminal(port))
+            if port not in conversion.port_pads:
+                conversion.port_pads.append(port)
+        if len(terminals) >= 2:
+            conversion.design.add_net(net.name, terminals)
+    return conversion

@@ -1,0 +1,74 @@
+"""Workflow management (paper Section 5).
+
+A workflow engine with every characteristic the paper requires: environment
+independence (actions are opaque programs), an open language environment
+(shell, Python, persistent-tool sessions), flexible tool management,
+default exit-code status with an explicit-status API escape, hierarchical
+sub-flows per design block, pluggable data management (plain files,
+RCS-like versioning, make-like staleness), start/finish dependencies with
+permissions and reset rules, trigger-based change notification, and
+closed-loop metrics.
+"""
+
+from cadinterop.workflow.actions import PythonAction, ShellAction, ToolSessionAction
+from cadinterop.workflow.data import (
+    ContentContains,
+    DataSnapshot,
+    DataVariable,
+    FileExists,
+    NewerThan,
+    VariableEquals,
+    snapshot_file,
+)
+from cadinterop.workflow.engine import RunSummary, StepApi, WorkflowEngine
+from cadinterop.workflow.metrics import MetricsCollector, StepMetrics
+from cadinterop.workflow.model import (
+    FlowInstance,
+    FlowTemplate,
+    StepDef,
+    StepRecord,
+    StepState,
+    WorkflowError,
+)
+from cadinterop.workflow.stores import (
+    FileStore,
+    MakeLikeChecker,
+    Revision,
+    StoreError,
+    VersionedStore,
+)
+from cadinterop.workflow.tools import PersistentTool, ToolSessionError
+from cadinterop.workflow.triggers import Notification, TriggerManager
+
+__all__ = [
+    "ContentContains",
+    "DataSnapshot",
+    "DataVariable",
+    "FileExists",
+    "FileStore",
+    "FlowInstance",
+    "FlowTemplate",
+    "MakeLikeChecker",
+    "MetricsCollector",
+    "NewerThan",
+    "Notification",
+    "PersistentTool",
+    "PythonAction",
+    "Revision",
+    "RunSummary",
+    "ShellAction",
+    "StepApi",
+    "StepDef",
+    "StepMetrics",
+    "StepRecord",
+    "StepState",
+    "StoreError",
+    "ToolSessionAction",
+    "ToolSessionError",
+    "TriggerManager",
+    "VariableEquals",
+    "VersionedStore",
+    "WorkflowEngine",
+    "WorkflowError",
+    "snapshot_file",
+]

@@ -1,0 +1,4 @@
+"""Compatibility alias: ``repro`` re-exports the ``cadinterop`` package."""
+
+from cadinterop import *  # noqa: F401,F403
+from cadinterop import __version__  # noqa: F401

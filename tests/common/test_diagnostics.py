@@ -1,0 +1,107 @@
+"""Tests for cadinterop.common.diagnostics."""
+
+import pytest
+
+from cadinterop.common.diagnostics import (
+    Category,
+    Issue,
+    IssueLog,
+    Severity,
+    render_checklist,
+)
+
+
+def make_log():
+    log = IssueLog()
+    log.add(Severity.ERROR, Category.BUS_SYNTAX, "OUT-", "postfix not accepted",
+            tool="composer-like", remedy="fold postfix into name")
+    log.add(Severity.WARNING, Category.SCALING, "U1", "off-grid point snapped")
+    log.add(Severity.INFO, Category.SCALING, "cell", "scaled by 5/8")
+    return log
+
+
+class TestIssueLog:
+    def test_len_and_bool(self):
+        log = IssueLog()
+        assert not log and len(log) == 0
+        log.add(Severity.INFO, Category.COSMETIC, "x", "y")
+        assert log and len(log) == 1
+
+    def test_by_category(self):
+        log = make_log()
+        assert len(log.by_category(Category.SCALING)) == 2
+        assert len(log.by_category(Category.VERIFICATION)) == 0
+
+    def test_by_severity_is_at_least(self):
+        log = make_log()
+        assert len(log.by_severity(Severity.WARNING)) == 2
+
+    def test_worst(self):
+        assert make_log().worst is Severity.ERROR
+        assert IssueLog().worst is None
+
+    def test_has_errors(self):
+        log = IssueLog()
+        assert not log.has_errors()
+        log.add(Severity.ERROR, Category.SEMANTICS, "a", "b")
+        assert log.has_errors()
+
+    def test_merge_preserves_both(self):
+        a, b = make_log(), make_log()
+        a.merge(b)
+        assert len(a) == 6
+
+    def test_counts_and_summary(self):
+        log = make_log()
+        counts = log.counts()
+        assert counts[Severity.ERROR] == 1
+        assert "1 error" in log.summary()
+        assert IssueLog().summary() == "no issues"
+
+    def test_filter(self):
+        log = make_log()
+        assert len(log.filter(lambda i: i.tool == "composer-like")) == 1
+
+    def test_issues_snapshot_is_immutable_view(self):
+        log = make_log()
+        snapshot = log.issues
+        log.add(Severity.INFO, Category.COSMETIC, "z", "m")
+        assert len(snapshot) == 3
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.FATAL > Severity.ERROR > Severity.WARNING > Severity.NOTE > Severity.INFO
+
+
+class TestIssueFormat:
+    def test_format_includes_tool_and_remedy(self):
+        issue = Issue(Severity.ERROR, Category.BUS_SYNTAX, "n", "msg",
+                      tool="toolA", remedy="do this")
+        text = issue.format()
+        assert "[toolA]" in text and "=> do this" in text and "ERROR" in text
+
+
+class TestChecklist:
+    def test_groups_by_category(self):
+        text = render_checklist(make_log())
+        assert "## bus-syntax (1)" in text
+        assert "## scaling (2)" in text
+
+    def test_checkbox_and_action_lines(self):
+        text = render_checklist(make_log())
+        assert "[ ] (ERROR) OUT- [composer-like]: postfix not accepted" in text
+        assert "action: fold postfix into name" in text
+
+    def test_severity_sorted_within_category(self):
+        log = IssueLog()
+        log.add(Severity.INFO, Category.SCALING, "low", "info msg")
+        log.add(Severity.ERROR, Category.SCALING, "high", "error msg")
+        text = render_checklist(log)
+        assert text.index("error msg") < text.index("info msg")
+
+    def test_empty_log(self):
+        assert "(no interoperability issues found)" in render_checklist(IssueLog())
+
+    def test_total_line(self):
+        assert "total: 3 issue(s)" in render_checklist(make_log())

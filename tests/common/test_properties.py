@@ -1,0 +1,90 @@
+"""Tests for cadinterop.common.properties."""
+
+import pytest
+
+from cadinterop.common.properties import Property, PropertyBag
+
+
+class TestPropertyBag:
+    def test_set_get(self):
+        bag = PropertyBag()
+        bag.set("w", "2u")
+        assert bag.get("w") == "2u"
+        assert bag.get("missing") is None
+        assert bag.get("missing", 0) == 0
+
+    def test_init_from_dict(self):
+        bag = PropertyBag({"a": 1, "b": "x"})
+        assert bag.as_dict() == {"a": 1, "b": "x"}
+
+    def test_ordering_preserved(self):
+        bag = PropertyBag()
+        for name in ("z", "a", "m"):
+            bag.set(name, 1)
+        assert bag.names() == ["z", "a", "m"]
+
+    def test_overwrite_keeps_position(self):
+        bag = PropertyBag()
+        bag.set("a", 1)
+        bag.set("b", 2)
+        bag.set("a", 3)
+        assert bag.names() == ["a", "b"]
+        assert bag.get("a") == 3
+
+    def test_rename_preserves_position_and_value(self):
+        bag = PropertyBag({"x": 1, "y": 2, "z": 3})
+        assert bag.rename("y", "why")
+        assert bag.names() == ["x", "why", "z"]
+        assert bag.get("why") == 2
+
+    def test_rename_missing_returns_false(self):
+        assert not PropertyBag().rename("nope", "x")
+
+    def test_remove(self):
+        bag = PropertyBag({"a": 1})
+        removed = bag.remove("a")
+        assert removed is not None and removed.value == 1
+        assert bag.remove("a") is None
+
+    def test_provenance_tracked(self):
+        bag = PropertyBag()
+        bag.set("w", "2u", origin="a/L")
+        assert bag.get_property("w").origin == "a/L"
+
+    def test_rename_updates_origin(self):
+        bag = PropertyBag({"old": 1})
+        bag.rename("old", "new", origin="property-map")
+        assert bag.get_property("new").origin == "property-map"
+
+    def test_copy_is_independent(self):
+        bag = PropertyBag({"a": 1})
+        clone = bag.copy()
+        clone.set("a", 2)
+        assert bag.get("a") == 1
+
+    def test_equality_by_value(self):
+        assert PropertyBag({"a": 1}) == PropertyBag({"a": 1})
+        assert PropertyBag({"a": 1}) != PropertyBag({"a": 2})
+
+    def test_iteration_and_items(self):
+        bag = PropertyBag({"a": 1, "b": 2})
+        assert [p.name for p in bag] == ["a", "b"]
+        assert dict(bag.items()) == {"a": 1, "b": 2}
+
+    def test_contains_len(self):
+        bag = PropertyBag({"a": 1})
+        assert "a" in bag and "b" not in bag
+        assert len(bag) == 1
+
+
+class TestProperty:
+    def test_renamed_returns_new(self):
+        prop = Property("a", 1)
+        renamed = prop.renamed("b")
+        assert renamed.name == "b" and prop.name == "a"
+
+    def test_with_value(self):
+        prop = Property("a", 1, origin="native")
+        changed = prop.with_value(2, origin="map")
+        assert changed.value == 2 and changed.origin == "map"
+        assert prop.value == 1

@@ -1,0 +1,318 @@
+"""Tests for tool models, mapping, flow diagrams, analysis, optimization."""
+
+import pytest
+
+from cadinterop.core.analysis import Finding, analyze
+from cadinterop.core.checklist import analyze_environment, environment_checklist
+from cadinterop.core.flows import build_flow_diagram
+from cadinterop.core.library import (
+    cell_based_methodology,
+    standard_scenarios,
+    standard_tool_catalog,
+)
+from cadinterop.core.mapping import compare_mappings, map_tasks_to_tools
+from cadinterop.core.optimization import (
+    apply_conventions,
+    measure_lever,
+    repartition_boundary,
+    substitute_technology,
+)
+from cadinterop.core.scenarios import prune
+from cadinterop.core.tasks import MethodologyError, TaskGraph, task
+from cadinterop.core.toolmodel import (
+    ControlInterface,
+    DataPort,
+    ToolCatalog,
+    ToolModel,
+)
+
+
+def two_tool_setup():
+    """A minimal graph + catalog with every classic problem planted."""
+    graph = TaskGraph("mini")
+    graph.add_task(task("author", "write model", [], ["model"]))
+    graph.add_task(task("simulate", "simulate model", ["model"], ["results"], kind="analysis"))
+    graph.add_task(task("view", "view results", ["results"], ["observations"], kind="analysis"))
+
+    catalog = ToolCatalog()
+    catalog.add(ToolModel(
+        name="editor",
+        function="authoring",
+        data_ports=[DataPort("model", "out", "fmt-a", "sem-a", "hier", "names-a")],
+        control=[ControlInterface("cli", "cli", "in")],
+        implements_tasks={"author"},
+    ))
+    catalog.add(ToolModel(
+        name="sim",
+        function="simulation",
+        data_ports=[
+            DataPort("model", "in", "fmt-b", "sem-b", "flat", "names-b"),
+            DataPort("results", "out", "fmt-r", "n/a", "flat", "names-b"),
+        ],
+        control=[ControlInterface("cli", "cli", "in")],
+        implements_tasks={"simulate"},
+    ))
+    catalog.add(ToolModel(
+        name="viewer",
+        function="waveform viewing",
+        data_ports=[DataPort("results", "in", "fmt-r", "n/a", "flat", "names-b")],
+        control=[ControlInterface("win", "gui", "in")],
+        implements_tasks={"view"},
+    ))
+    return graph, catalog
+
+
+class TestToolModel:
+    def test_port_direction_validated(self):
+        with pytest.raises(MethodologyError):
+            DataPort("x", "sideways", "f", "s", "st", "n")
+
+    def test_control_kind_validated(self):
+        with pytest.raises(MethodologyError):
+            ControlInterface("c", "telepathy", "in")
+
+    def test_port_lookup(self):
+        _graph, catalog = two_tool_setup()
+        sim = catalog.tool("sim")
+        assert sim.port_for("model", "in").persistence == "fmt-b"
+        assert sim.port_for("model", "out") is None
+
+    def test_controllable_by(self):
+        _graph, catalog = two_tool_setup()
+        assert catalog.tool("sim").controllable_by(["cli"])
+        assert not catalog.tool("viewer").controllable_by(["cli", "api"])
+
+    def test_catalog_subset(self):
+        _graph, catalog = two_tool_setup()
+        subset = catalog.subset(["sim"])
+        assert len(subset) == 1 and "editor" not in subset
+
+
+class TestMapping:
+    def test_holes_and_coverage(self):
+        graph, catalog = two_tool_setup()
+        graph.add_task(task("unmappable", "nobody does this", ["model"], ["exotic"]))
+        mapping = map_tasks_to_tools(graph, catalog)
+        assert mapping.holes == ["unmappable"]
+        assert mapping.coverage_ratio() == pytest.approx(3 / 4)
+
+    def test_overlaps(self):
+        graph, catalog = two_tool_setup()
+        catalog.add(ToolModel(
+            name="sim2", function="another simulator",
+            data_ports=[], control=[], implements_tasks={"simulate"},
+        ))
+        mapping = map_tasks_to_tools(graph, catalog)
+        assert mapping.overlaps == {"simulate": ["sim", "sim2"]}
+
+    def test_preference_resolves_overlap(self):
+        graph, catalog = two_tool_setup()
+        catalog.add(ToolModel(
+            name="sim2", function="preferred simulator",
+            data_ports=[], control=[], implements_tasks={"simulate"},
+        ))
+        mapping = map_tasks_to_tools(graph, catalog, prefer=["sim2"])
+        assert mapping.chosen_tool("simulate") == "sim2"
+
+    def test_compare_mappings(self):
+        graph, catalog = two_tool_setup()
+        catalog.add(ToolModel(
+            name="sim2", function="x", data_ports=[], control=[],
+            implements_tasks={"simulate"},
+        ))
+        a = map_tasks_to_tools(graph, catalog, "internal")
+        b = map_tasks_to_tools(graph, catalog, "thirdparty", prefer=["sim2"])
+        differences = compare_mappings(a, b)
+        assert differences == {"simulate": ("sim", "sim2")}
+
+
+class TestFlowDiagram:
+    def test_edges_carry_both_ports(self):
+        graph, catalog = two_tool_setup()
+        mapping = map_tasks_to_tools(graph, catalog)
+        diagram = build_flow_diagram(graph, mapping, catalog)
+        edge = next(e for e in diagram.data_edges if e.info == "model")
+        assert edge.producer_tool == "editor" and edge.consumer_tool == "sim"
+        assert edge.producer_port.persistence == "fmt-a"
+        assert edge.consumer_port.persistence == "fmt-b"
+
+    def test_control_edges_pick_best_channel(self):
+        graph, catalog = two_tool_setup()
+        mapping = map_tasks_to_tools(graph, catalog)
+        diagram = build_flow_diagram(graph, mapping, catalog)
+        kinds = {e.tool: e.kind for e in diagram.control_edges}
+        assert kinds["sim"] == "cli"
+        assert kinds["viewer"] == "gui"
+
+    def test_unmapped_tasks_listed(self):
+        graph, catalog = two_tool_setup()
+        graph.add_task(task("orphan", "x", ["model"], ["y"]))
+        mapping = map_tasks_to_tools(graph, catalog)
+        diagram = build_flow_diagram(graph, mapping, catalog)
+        assert diagram.unmapped_tasks == ["orphan"]
+
+
+class TestClassicProblems:
+    def analysis(self):
+        graph, catalog = two_tool_setup()
+        mapping = map_tasks_to_tools(graph, catalog)
+        diagram = build_flow_diagram(graph, mapping, catalog)
+        return analyze(diagram)
+
+    def test_all_five_detectable(self):
+        report = self.analysis()
+        counts = report.problem_counts()
+        assert counts["performance"] == 1  # fmt-a -> fmt-b
+        assert counts["name-mapping"] == 1  # names-a vs names-b
+        assert counts["structure-mapping"] == 1  # hier vs flat
+        assert counts["semantics"] == 1  # sem-a vs sem-b
+        assert counts["tool-control"] == 1  # GUI-only viewer
+
+    def test_matched_edge_is_clean(self):
+        report = self.analysis()
+        results_findings = [f for f in report.findings if f.info == "results"]
+        assert results_findings == []  # sim -> viewer agrees on everything
+
+    def test_conversion_cost_accumulates(self):
+        report = self.analysis()
+        assert report.conversion_cost == pytest.approx(1.0 + 2.0)
+
+    def test_worst_pair(self):
+        report = self.analysis()
+        producer, consumer, count = report.worst_tool_pair()
+        assert (producer, consumer) == ("editor", "sim") and count == 4
+
+
+class TestOptimizationLevers:
+    def test_repartition_clears_edge_problems(self):
+        graph, catalog = two_tool_setup()
+        improved = repartition_boundary(catalog, "editor", "sim", "model")
+        delta = measure_lever(
+            "repartition", "direct editor->sim link",
+            graph, catalog, graph, improved,
+        )
+        assert delta.improved
+        assert delta.findings_removed >= 4 - 1  # only the GUI finding remains
+
+    def test_repartition_requires_modelled_ports(self):
+        graph, catalog = two_tool_setup()
+        with pytest.raises(MethodologyError):
+            repartition_boundary(catalog, "editor", "viewer", "model")
+
+    def test_conventions_clear_namespace_problems(self):
+        graph, catalog = two_tool_setup()
+        improved = apply_conventions(catalog, namespace="project-names")
+        delta = measure_lever(
+            "conventions", "project naming convention",
+            graph, catalog, graph, improved,
+        )
+        assert delta.findings_removed == 1  # exactly the name-mapping finding
+
+    def test_technology_substitution_shrinks_graph(self):
+        graph, _catalog = two_tool_setup()
+        replacement = task(
+            "formal-check", "formal verification replaces simulate+view",
+            ["model"], ["results", "observations"], kind="validation",
+        )
+        new_graph = substitute_technology(graph, ["simulate", "view"], replacement)
+        assert len(new_graph) == 2
+        assert "formal-check" in new_graph
+
+    def test_substitution_must_cover_outputs(self):
+        graph, _catalog = two_tool_setup()
+        graph.add_task(task("report", "use observations", ["observations"], ["summary"]))
+        bad = task("formal-check", "incomplete", ["model"], ["results"])
+        with pytest.raises(MethodologyError):
+            substitute_technology(graph, ["simulate", "view"], bad)
+
+
+class TestEnvironmentPipeline:
+    def test_full_asic_detects_all_problem_classes(self):
+        graph = cell_based_methodology()
+        catalog = standard_tool_catalog()
+        analysis = analyze_environment(graph, catalog, standard_scenarios()[0])
+        counts = analysis.report.problem_counts()
+        for problem in Finding.PROBLEMS:
+            assert counts[problem] > 0, f"expected at least one {problem} finding"
+
+    def test_holes_reported(self):
+        graph = cell_based_methodology()
+        catalog = standard_tool_catalog()
+        analysis = analyze_environment(graph, catalog, standard_scenarios()[0])
+        assert analysis.mapping.holes  # the modelled environment is incomplete
+
+    def test_checklist_rendering(self):
+        graph = cell_based_methodology()
+        catalog = standard_tool_catalog()
+        analysis = analyze_environment(graph, catalog, standard_scenarios()[1])
+        checklist = environment_checklist(analysis)
+        assert "checklist" in checklist
+        assert "[ ]" in checklist
+        assert "action:" in checklist
+
+    def test_summary_mentions_scenario(self):
+        graph = cell_based_methodology()
+        catalog = standard_tool_catalog()
+        analysis = analyze_environment(graph, catalog, standard_scenarios()[2])
+        assert "digital-only-lowcost" in analysis.summary()
+
+
+class TestDotRendering:
+    def test_dot_output_shape(self):
+        from cadinterop.core.flows import to_dot
+
+        graph, catalog = two_tool_setup()
+        mapping = map_tasks_to_tools(graph, catalog)
+        diagram = build_flow_diagram(graph, mapping, catalog)
+        report = analyze(diagram)
+        problems = {}
+        for finding in report.findings:
+            key = (finding.producer_tool, finding.consumer_tool)
+            problems[key] = problems.get(key, 0) + 1
+        dot = to_dot(diagram, problems)
+        assert dot.startswith("digraph")
+        assert '"editor" -> "sim"' in dot
+        assert "color=red" in dot  # the troubled edge is highlighted
+        assert '"sim" -> "viewer"' in dot
+        assert dot.count('label="model') == 1  # deduplicated
+
+    def test_dot_without_problems(self):
+        from cadinterop.core.flows import to_dot
+
+        graph, catalog = two_tool_setup()
+        mapping = map_tasks_to_tools(graph, catalog)
+        diagram = build_flow_diagram(graph, mapping, catalog)
+        dot = to_dot(diagram)
+        assert "color=red" not in dot
+
+
+class TestOverlapsInModeledEnvironment:
+    def test_overlaps_exist(self):
+        """Paper: the task/tool map 'is the first point where holes and
+        overlaps of functionality are identified' — both must appear."""
+        graph = cell_based_methodology()
+        catalog = standard_tool_catalog()
+        analysis = analyze_environment(graph, catalog, standard_scenarios()[0])
+        assert analysis.mapping.holes
+        assert analysis.mapping.overlaps
+        # The competing simulators overlap on top-level simulation.
+        assert set(analysis.mapping.overlaps["run-top-sims"]) == {
+            "turbo-like-sim", "xl-like-sim",
+        }
+
+    def test_overlap_resolution_by_mandate(self):
+        """A scenario's mandated tools win overlaps deterministically."""
+        from cadinterop.core.mapping import map_tasks_to_tools
+        from cadinterop.core.scenarios import prune
+
+        graph = cell_based_methodology()
+        catalog = standard_tool_catalog()
+        scenario = standard_scenarios()[0]
+        pruned = prune(graph, scenario)
+        default = map_tasks_to_tools(pruned, catalog, "default")
+        mandated = map_tasks_to_tools(
+            pruned, catalog, "mandated", prefer=["turbo-like-sim", "toolQ-like"]
+        )
+        assert default.chosen_tool("run-top-sims") == "turbo-like-sim"  # alphabetical
+        assert mandated.chosen_tool("run-global-placement") == "toolQ-like"
+        assert compare_mappings(default, mandated)

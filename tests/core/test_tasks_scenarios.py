@@ -1,0 +1,215 @@
+"""Tests for the task model, task graph, and scenario pruning."""
+
+import pytest
+
+from cadinterop.core.library import cell_based_methodology, standard_scenarios
+from cadinterop.core.scenarios import (
+    DrivingFunctions,
+    Scenario,
+    UserProfile,
+    prune,
+    prune_report,
+)
+from cadinterop.core.tasks import (
+    InfoItem,
+    MethodologyError,
+    Task,
+    TaskGraph,
+    task,
+)
+
+
+def small_graph():
+    graph = TaskGraph("small")
+    graph.add_task(task("spec", "write spec", [], ["spec-doc"], phase="front"))
+    graph.add_task(task("rtl", "write RTL", ["spec-doc"], ["rtl"], phase="front"))
+    graph.add_task(task("sim", "simulate", ["rtl"], ["sim-results"], phase="front", kind="analysis"))
+    graph.add_task(task("synth", "synthesize", ["rtl"], ["gates"], phase="back"))
+    graph.add_task(task("fix", "fix RTL from sim", ["sim-results"], ["rtl"], phase="front"))
+    graph.add_task(task("route", "route", ["gates"], ["layout"], phase="back"))
+    graph.add_task(task("timing", "timing analysis", ["layout"], ["timing-report"], phase="timing", kind="analysis"))
+    return graph
+
+
+class TestTaskModel:
+    def test_task_kind_validated(self):
+        with pytest.raises(MethodologyError):
+            task("t", "d", [], ["x"], kind="magic")
+
+    def test_non_validation_needs_outputs(self):
+        with pytest.raises(MethodologyError):
+            task("t", "d", ["x"], [])
+
+    def test_validation_may_be_sink(self):
+        sink = task("check", "final check", ["x"], [], kind="validation")
+        assert sink.outputs == frozenset()
+
+    def test_info_item_name_rules(self):
+        with pytest.raises(MethodologyError):
+            InfoItem("two words")
+
+    def test_duplicate_task_rejected(self):
+        graph = small_graph()
+        with pytest.raises(MethodologyError):
+            graph.add_task(task("spec", "again", [], ["spec-doc"]))
+
+
+class TestTaskGraph:
+    def test_producers_consumers(self):
+        graph = small_graph()
+        assert {t.name for t in graph.producers_of("rtl")} == {"rtl", "fix"}
+        assert {t.name for t in graph.consumers_of("rtl")} == {"sim", "synth"}
+
+    def test_successors_predecessors(self):
+        graph = small_graph()
+        assert graph.successors("rtl") == {"sim", "synth"}
+        assert graph.predecessors("synth") == {"rtl", "fix"}
+
+    def test_edges_triples(self):
+        graph = small_graph()
+        assert ("rtl", "rtl", "synth") in graph.edges()
+        assert ("fix", "rtl", "sim") in graph.edges()
+
+    def test_external_inputs_and_final_outputs(self):
+        graph = small_graph()
+        assert graph.external_inputs() == set()
+        assert "timing-report" in graph.final_outputs()
+
+    def test_iteration_loop_detected_not_error(self):
+        graph = small_graph()
+        assert graph.has_iteration_loops()  # sim -> fix -> rtl -> sim
+        assert graph.validate() == []
+
+    def test_backward_closure(self):
+        graph = small_graph()
+        needed = graph.backward_closure(["gates"])
+        assert "route" not in needed and "timing" not in needed
+        assert {"spec", "rtl", "synth"} <= needed
+
+    def test_subgraph(self):
+        graph = small_graph()
+        sub = graph.subgraph({"spec", "rtl"})
+        assert len(sub) == 2
+        assert "spec-doc" in sub.info_items
+
+    def test_stats(self):
+        stats = small_graph().stats()
+        assert stats["tasks"] == 7
+        assert stats["analysis"] == 2
+
+
+class TestMethodologyLibrary:
+    def test_approximately_200_tasks(self):
+        """The paper's number: ~200 tasks, spec to tapeout."""
+        graph = cell_based_methodology()
+        assert len(graph) == 200
+
+    def test_spans_spec_to_tapeout(self):
+        graph = cell_based_methodology()
+        assert "write-product-spec" in graph
+        assert "ship-mask-data" in graph
+        assert "tapeout-archive" in graph.final_outputs()
+
+    def test_phases_present(self):
+        graph = cell_based_methodology()
+        phases = {t.phase for t in graph.tasks()}
+        assert {"specification", "rtl", "verification", "synthesis",
+                "floorplanning", "routing", "tapeout"} <= phases
+
+    def test_connected_from_spec_to_mask(self):
+        graph = cell_based_methodology()
+        needed = graph.backward_closure(["final-mask-data"])
+        assert "write-product-spec" in needed
+        assert "synthesize-blockA" in needed
+        assert "route-signal-nets" in needed
+
+    def test_iteration_loops_present(self):
+        """Task graphs 'more faithfully represent the designer's choices'
+        — they are not linear."""
+        assert cell_based_methodology().has_iteration_loops()
+
+    def test_only_legacy_data_is_external(self):
+        graph = cell_based_methodology()
+        assert graph.external_inputs() == {"legacy-schematics", "legacy-models"}
+
+    def test_kinds_mixed(self):
+        stats = cell_based_methodology().stats()
+        assert stats["analysis"] > 20
+        assert stats["validation"] > 8
+
+    def test_clean_validation(self):
+        assert cell_based_methodology().validate() == []
+
+
+class TestScenarios:
+    def test_profile_validation(self):
+        with pytest.raises(MethodologyError):
+            UserProfile(0, "expert")
+        with pytest.raises(MethodologyError):
+            UserProfile(5, "wizard")
+
+    def test_driving_weights_validated(self):
+        with pytest.raises(MethodologyError):
+            DrivingFunctions(cost=9)
+
+    def test_prune_requires_outputs(self):
+        with pytest.raises(MethodologyError):
+            prune(small_graph(), Scenario(
+                "s", UserProfile(1, "expert"), DrivingFunctions(),
+            ))
+
+    def test_prune_unknown_output(self):
+        with pytest.raises(MethodologyError):
+            prune(small_graph(), Scenario(
+                "s", UserProfile(1, "expert"), DrivingFunctions(),
+                required_outputs=("unobtainium",),
+            ))
+
+    def test_prune_backward_closure(self):
+        scenario = Scenario(
+            "gates-only", UserProfile(4, "expert"), DrivingFunctions(),
+            required_outputs=("gates",),
+        )
+        pruned = prune(small_graph(), scenario)
+        assert "route" not in pruned and "timing" not in pruned
+        assert "synth" in pruned
+
+    def test_excluded_phases(self):
+        scenario = Scenario(
+            "no-backend", UserProfile(4, "expert"), DrivingFunctions(),
+            required_outputs=("layout",),
+            excluded_phases=("timing",),
+        )
+        pruned = prune(small_graph(), scenario)
+        assert "timing" not in pruned
+
+    def test_performance_phases_gated_by_driving_functions(self):
+        lowperf = Scenario(
+            "cheap", UserProfile(4, "novice"),
+            DrivingFunctions(performance=2),
+            required_outputs=("timing-report",),
+            performance_phases=("timing",),
+        )
+        fast = Scenario(
+            "fast", UserProfile(4, "expert"),
+            DrivingFunctions(performance=5),
+            required_outputs=("timing-report",),
+            performance_phases=("timing",),
+        )
+        assert "timing" not in prune(small_graph(), lowperf)
+        assert "timing" in prune(small_graph(), fast)
+
+    def test_standard_scenarios_prune_meaningfully(self):
+        graph = cell_based_methodology()
+        for scenario in standard_scenarios():
+            pruned, report = prune_report(graph, scenario)
+            assert 0 < len(pruned) < len(graph)
+            assert report.task_reduction > 0
+            assert report.interaction_reduction > 0
+
+    def test_netlist_handoff_smallest(self):
+        graph = cell_based_methodology()
+        sizes = {
+            s.name: len(prune(graph, s)) for s in standard_scenarios()
+        }
+        assert sizes["netlist-handoff"] < sizes["digital-only-lowcost"] < sizes["full-asic"]

@@ -1,0 +1,92 @@
+"""Tests for simulator invocation dialects (paper 3.1 'Environment')."""
+
+import pytest
+
+from cadinterop.common.diagnostics import IssueLog
+from cadinterop.hdl.environment import (
+    ALL_INVOCATIONS,
+    Pc8LikeInvocation,
+    SimulationRequest,
+    TurboLikeInvocation,
+    XlLikeInvocation,
+    generate_run_scripts,
+    single_script_possible,
+)
+
+
+@pytest.fixture()
+def request_spec():
+    return SimulationRequest(
+        sources=("cpu.v", "tb.v"),
+        top="tb",
+        defines=(("WIDTH", "8"), ("FAST", "")),
+        include_dirs=("rtl/include",),
+        plusargs=("+no_warn", "+seed+42"),
+        run_until=10000,
+        dump_waves=True,
+    )
+
+
+class TestDialects:
+    def test_interpreted_is_one_command(self, request_spec):
+        commands = XlLikeInvocation().commands(request_spec)
+        assert len(commands) == 1
+        line = commands[0]
+        assert line.startswith("xlsim")
+        assert "+incdir+rtl/include" in line
+        assert "+define+WIDTH=8" in line
+        assert "+define+FAST" in line
+        assert "+no_warn" in line and "+seed+42" in line
+        assert "+stop_at+10000" in line
+
+    def test_compiled_is_three_steps(self, request_spec):
+        commands = TurboLikeInvocation().commands(request_spec)
+        assert len(commands) == 3
+        assert commands[0].startswith("tcompile")
+        assert "-DWIDTH=8" in commands[0]
+        assert commands[1].startswith("telab tb")
+        assert commands[2].startswith("./tb.sim")
+        assert "--until 10000" in commands[2]
+
+    def test_pc_uses_control_file(self, request_spec):
+        commands = Pc8LikeInvocation().commands(request_spec)
+        assert len(commands) == 2
+        assert "sim.ctl" in commands[0]
+        assert "PCSIM.EXE" in commands[1]
+        assert "LOAD cpu.v" in commands[0]
+        assert "RUN 10000" in commands[0]
+
+    def test_feature_losses_logged(self, request_spec):
+        log = IssueLog()
+        TurboLikeInvocation().commands(request_spec, log)
+        assert any("plusargs" in issue.message for issue in log)
+
+    def test_interactive_unsupported_on_compiled(self):
+        request = SimulationRequest(sources=("a.v",), top="a", interactive=True)
+        log = IssueLog()
+        TurboLikeInvocation().commands(request, log)
+        assert any("interactive" in issue.message for issue in log)
+        # The interpreted simulator supports it natively.
+        line = XlLikeInvocation().commands(request)[0]
+        assert line.endswith("-s")
+
+
+class TestSingleScriptClaim:
+    def test_single_script_impossible(self, request_spec):
+        """The paper's claim: one script cannot drive all simulators."""
+        assert not single_script_possible(request_spec)
+
+    def test_per_simulator_scripts_generated(self, request_spec):
+        scripts = generate_run_scripts(request_spec)
+        assert set(scripts) == {"xl-like", "turbo-like", "pc8-like"}
+        for name, script in scripts.items():
+            assert script.startswith("#!/bin/sh")
+            assert name in script
+
+    def test_scripts_differ_pairwise(self, request_spec):
+        scripts = generate_run_scripts(request_spec)
+        bodies = list(scripts.values())
+        assert len(set(bodies)) == len(bodies)
+
+    def test_trivially_single_when_one_simulator(self, request_spec):
+        assert single_script_possible(request_spec, [XlLikeInvocation()])

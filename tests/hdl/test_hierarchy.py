@@ -1,0 +1,127 @@
+"""Tests for elaboration and flattening with reversible name maps."""
+
+import pytest
+
+from cadinterop.hdl.ast_nodes import HDLError
+from cadinterop.hdl.elaborate import elaborate, hierarchy_depth, instance_count
+from cadinterop.hdl.flatten import flatten, unflatten_name
+from cadinterop.hdl.parser import parse
+from cadinterop.hdl.simulator import simulate
+
+
+def two_level_design():
+    unit = parse(
+        """
+        module leaf (p, q);
+          input p; output q;
+          wire t;
+          not g1 (t, p);
+          not g2 (q, t);
+        endmodule
+        module mid (x, y);
+          input x; output y;
+          wire w;
+          leaf u1 (.p(x), .q(w));
+          leaf u2 (.p(w), .q(y));
+        endmodule
+        module top (a, b);
+          input a; output b;
+          reg a;
+          mid m1 (.x(a), .y(b));
+          initial a = 1'b1;
+        endmodule
+        """
+    )
+    unit.top = "top"
+    return unit
+
+
+class TestElaborate:
+    def test_tree_shape(self):
+        root = elaborate(two_level_design())
+        assert instance_count(root) == 1 + 1 + 2
+        assert hierarchy_depth(root) == 3
+        paths = {node.dotted_path for node in root.walk()}
+        assert paths == {"", "m1", "m1.u1", "m1.u2"}
+
+    def test_unknown_module_rejected(self):
+        unit = parse("module t (); wire w; ghost u1 (.p(w)); endmodule")
+        with pytest.raises(HDLError):
+            elaborate(unit)
+
+    def test_unknown_port_rejected(self):
+        unit = parse(
+            """
+            module c (p); input p; endmodule
+            module t (); wire w; c u1 (.nope(w)); endmodule
+            """
+        )
+        unit.top = "t"
+        with pytest.raises(HDLError):
+            elaborate(unit)
+
+    def test_recursion_rejected(self):
+        unit = parse(
+            """
+            module a (); wire w; b u1 (.p(w)); endmodule
+            module b (p); input p; wire v; a u2 (); endmodule
+            """
+        )
+        unit.top = "a"
+        with pytest.raises(HDLError):
+            elaborate(unit)
+
+
+class TestFlatten:
+    def test_internal_names_joined_with_separator(self):
+        flat, name_map = flatten(two_level_design())
+        assert "m1_u1_t" in flat.nets
+        assert "m1_w" in flat.nets
+
+    def test_ports_preserved(self):
+        flat, _ = flatten(two_level_design())
+        assert flat.port_names() == ["a", "b"]
+
+    def test_behavior_preserved(self):
+        # Four inverters in series: b == a.
+        flat, _ = flatten(two_level_design())
+        sim = simulate(flat, until=10)
+        assert sim.value("b") == "1"
+
+    def test_back_mapping_paper_requirement(self):
+        """A problem found on a flat name maps back to the hierarchy."""
+        flat, name_map = flatten(two_level_design())
+        assert unflatten_name(name_map, "m1_u1_t") == "m1.u1.t"
+        assert unflatten_name(name_map, "a") == "a"
+
+    def test_collision_with_existing_flat_name_uniquified(self):
+        unit = parse(
+            """
+            module leaf (p); input p; wire t; not g (t, p); endmodule
+            module top (a);
+              input a;
+              wire u1_t;
+              assign u1_t = a;
+              leaf u1 (.p(a));
+            endmodule
+            """
+        )
+        unit.top = "top"
+        flat, name_map = flatten(unit)
+        # The leaf's t would flatten to u1_t which is taken: uniquified.
+        flat_leaf_t = name_map.target_of("u1.t")
+        assert flat_leaf_t != "u1_t"
+        assert unflatten_name(name_map, flat_leaf_t) == "u1.t"
+        assert unflatten_name(name_map, "u1_t") == "u1_t"
+
+    def test_custom_separator(self):
+        flat, name_map = flatten(two_level_design(), separator="$")
+        assert "m1$u1$t" in flat.nets
+
+    def test_initial_blocks_carried(self):
+        flat, _ = flatten(two_level_design())
+        assert len(flat.initial_blocks) == 1
+
+    def test_shared_net_kinds(self):
+        flat, _ = flatten(two_level_design())
+        assert flat.nets["a"].kind == "reg"

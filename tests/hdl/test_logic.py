@@ -1,0 +1,141 @@
+"""Tests for the 4-value and 9-value logic systems."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from cadinterop.hdl.logic import Logic4, Logic9, naive_to4, roundtrip_fidelity, to4, to9
+
+v4 = st.sampled_from(Logic4.VALUES)
+v9 = st.sampled_from(Logic9.VALUES)
+
+
+class TestLogic4:
+    def test_validate(self):
+        with pytest.raises(ValueError):
+            Logic4.validate("U")
+
+    def test_not(self):
+        assert Logic4.not_("0") == "1"
+        assert Logic4.not_("1") == "0"
+        assert Logic4.not_("x") == "x"
+        assert Logic4.not_("z") == "x"
+
+    def test_and_dominates_zero(self):
+        for v in Logic4.VALUES:
+            assert Logic4.and_("0", v) == "0"
+            assert Logic4.and_(v, "0") == "0"
+
+    def test_or_dominates_one(self):
+        for v in Logic4.VALUES:
+            assert Logic4.or_("1", v) == "1"
+
+    def test_xor_unknowns(self):
+        assert Logic4.xor("1", "x") == "x"
+        assert Logic4.xor("1", "0") == "1"
+        assert Logic4.xor("1", "1") == "0"
+
+    def test_eq_vs_case_eq(self):
+        assert Logic4.eq("x", "x") == "x"
+        assert Logic4.case_eq("x", "x") == "1"
+        assert Logic4.case_eq("x", "z") == "0"
+
+    def test_resolution(self):
+        assert Logic4.resolve("z", "1") == "1"
+        assert Logic4.resolve("0", "z") == "0"
+        assert Logic4.resolve("0", "1") == "x"
+        assert Logic4.resolve("1", "1") == "1"
+
+    @given(v4, v4)
+    def test_resolution_commutative(self, a, b):
+        assert Logic4.resolve(a, b) == Logic4.resolve(b, a)
+
+    @given(v4)
+    def test_resolve_z_identity(self, a):
+        assert Logic4.resolve("z", a) == a
+
+    def test_resolve_many(self):
+        assert Logic4.resolve_many(["z", "z", "1"]) == "1"
+        assert Logic4.resolve_many([]) == "z"
+
+    @given(v4, v4)
+    def test_and_or_demorgan(self, a, b):
+        # ~(a & b) == ~a | ~b holds in 4-value logic for 0/1/x inputs
+        # (z behaves as x through the operators).
+        lhs = Logic4.not_(Logic4.and_(a, b))
+        rhs = Logic4.or_(Logic4.not_(a), Logic4.not_(b))
+        assert lhs == rhs
+
+
+class TestLogic9:
+    def test_validate(self):
+        with pytest.raises(ValueError):
+            Logic9.validate("q")
+
+    def test_u_dominates(self):
+        for v in Logic9.VALUES:
+            assert Logic9.resolve("U", v) == "U"
+
+    def test_strong_conflict(self):
+        assert Logic9.resolve("0", "1") == "X"
+
+    def test_weak_yields_to_strong(self):
+        assert Logic9.resolve("L", "1") == "1"
+        assert Logic9.resolve("H", "0") == "0"
+
+    def test_weak_conflict(self):
+        assert Logic9.resolve("L", "H") == "W"
+
+    @given(v9, v9)
+    def test_resolution_commutative(self, a, b):
+        assert Logic9.resolve(a, b) == Logic9.resolve(b, a)
+
+    @given(v9.filter(lambda v: v != "-"))
+    def test_z_identity(self, a):
+        """Z yields to any driven value ('-' is the exception: don't-care
+        resolves to X per IEEE 1164)."""
+        assert Logic9.resolve("Z", a) == a
+
+    def test_z_with_dont_care(self):
+        assert Logic9.resolve("Z", "-") == "X"
+
+    @given(v9, v9, v9)
+    def test_resolution_associative(self, a, b, c):
+        assert Logic9.resolve(Logic9.resolve(a, b), c) == Logic9.resolve(a, Logic9.resolve(b, c))
+
+    def test_to_binary(self):
+        assert Logic9.to_binary("L") == "0"
+        assert Logic9.to_binary("H") == "1"
+        assert Logic9.to_binary("W") == "x"
+        assert Logic9.to_binary("U") == "x"
+
+
+class TestConversions:
+    @given(v4)
+    def test_4_to_9_roundtrip_exact(self, value):
+        assert to4(to9(value)) == value
+
+    def test_correct_projection(self):
+        assert to4("L") == "0" and to4("H") == "1"
+        assert to4("Z") == "z"
+        assert to4("U") == "x" and to4("W") == "x" and to4("-") == "x"
+
+    def test_naive_projection_corrupts(self):
+        """The legacy shortcut: z and x become hard 0."""
+        assert naive_to4("Z") == "0"
+        assert naive_to4("X") == "0"
+        assert naive_to4("U") == "0"
+        assert naive_to4("W") == "0"
+
+    def test_naive_differs_from_correct_exactly_on_non_driven(self):
+        differing = {v for v in Logic9.VALUES if to4(v) != naive_to4(v)}
+        assert differing == {"U", "X", "Z", "W", "-"}
+
+    def test_roundtrip_fidelity_full_for_correct_map(self):
+        preserved, total = roundtrip_fidelity()
+        assert (preserved, total) == (9, 9)
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(ValueError):
+            to4("q")
+        with pytest.raises(ValueError):
+            to9("U")

@@ -1,0 +1,159 @@
+"""Tests for naming rules, truncation aliasing, and VHDL translation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from cadinterop.common.diagnostics import IssueLog
+from cadinterop.hdl.names import (
+    NamingConvention,
+    find_truncation_aliases,
+    is_legal_verilog_identifier,
+    is_legal_vhdl_identifier,
+    keyword_clashes,
+    naive_meaning_inference,
+    parse_escaped,
+    safe_under_truncation,
+)
+from cadinterop.hdl.parser import parse_module
+from cadinterop.hdl.translate import (
+    plan_renames,
+    rewrite_script,
+    script_impact,
+    translate_module,
+    vhdl_safe_transform,
+)
+
+
+class TestIdentifierLegality:
+    def test_verilog_allows_dollar(self):
+        assert is_legal_verilog_identifier("net$1")
+
+    def test_verilog_rejects_keyword(self):
+        assert not is_legal_verilog_identifier("module")
+
+    def test_paper_example_in_out(self):
+        """'in' and 'out' are legal Verilog names but VHDL keywords."""
+        assert is_legal_verilog_identifier("in")
+        assert is_legal_verilog_identifier("out")
+        assert not is_legal_vhdl_identifier("in")
+        assert not is_legal_vhdl_identifier("out")
+
+    def test_vhdl_underscore_rules(self):
+        assert not is_legal_vhdl_identifier("_leading")
+        assert not is_legal_vhdl_identifier("trailing_")
+        assert not is_legal_vhdl_identifier("dou__ble")
+        assert is_legal_vhdl_identifier("ok_name")
+
+    def test_vhdl_case_insensitive_keywords(self):
+        assert not is_legal_vhdl_identifier("Signal")
+
+    def test_keyword_clashes(self):
+        clashes = keyword_clashes(["clk", "in", "out", "data"])
+        assert clashes == ["in", "out"]
+
+
+class TestEscapedIdentifiers:
+    def test_parse(self):
+        name, rest = parse_escaped("\\bus[3] = 1;")
+        assert name.body == "bus[3]" and rest == "= 1;"
+
+    def test_requires_terminator(self):
+        with pytest.raises(ValueError):
+            parse_escaped("\\noterm")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_escaped("\\ x")
+
+    def test_source_text_roundtrip(self):
+        name, _ = parse_escaped("\\a*b ")
+        assert name.source_text == "\\a*b "
+
+    def test_naive_inference_traps(self):
+        """Some tools wrongly infer meaning from characters in the name."""
+        assert naive_meaning_inference("bus[3]") == "bus-bit"
+        assert naive_meaning_inference("reset*") == "active-low"
+        assert naive_meaning_inference("plain_name") is None
+
+
+class TestTruncation:
+    def test_paper_example(self):
+        aliases = find_truncation_aliases(["cntr_reset1", "cntr_reset2", "clk"])
+        assert aliases == {"cntr_res": ["cntr_reset1", "cntr_reset2"]}
+
+    def test_safe_set(self):
+        assert safe_under_truncation(["alpha", "beta", "gamma"])
+
+    def test_custom_width(self):
+        aliases = find_truncation_aliases(["abcd1", "abcd2"], significant=4)
+        assert "abcd" in aliases
+
+    @given(st.lists(st.from_regex(r"[a-z]{1,6}", fullmatch=True), unique=True, max_size=20))
+    def test_short_names_never_alias(self, names):
+        assert safe_under_truncation(names, significant=8)
+
+
+class TestNamingConvention:
+    def test_violations_collected(self):
+        convention = NamingConvention(max_length=8)
+        violations = convention.violations(
+            ["in", "very_long_name", "net$x", "\\esc", "cntr_reset1", "cntr_reset2"]
+        )
+        reasons = {reason for _name, reason in violations}
+        assert any("keyword" in reason for reason in reasons)
+        assert any("longer than" in reason for reason in reasons)
+        assert any("$" in reason for reason in reasons)
+        assert any("escaped" in reason for reason in reasons)
+        assert any("alias" in reason for reason in reasons)
+
+    def test_clean_names_pass(self):
+        convention = NamingConvention(max_length=8)
+        assert convention.violations(["clk", "rst_n", "dat0"]) == []
+
+
+class TestVhdlTranslation:
+    def test_transform_examples(self):
+        assert vhdl_safe_transform("in") == "in_sig"
+        assert vhdl_safe_transform("net$1") == "net_d_1"
+        assert vhdl_safe_transform("_x_") == "x"
+
+    def test_plan_keeps_legal_names(self):
+        plan = plan_renames(["clk", "in", "out"])
+        assert "clk" not in plan.renames
+        assert plan.renames["in"] == "in_sig"
+        assert plan.renamed_count == 2
+
+    def test_plan_avoids_collisions(self):
+        plan = plan_renames(["in_sig", "in"])
+        assert plan.renames["in"] != "in_sig"
+
+    def test_translate_module(self):
+        module = parse_module(
+            """
+            module m (in, out);
+              input in; output out;
+              assign out = ~in;
+            endmodule
+            """
+        )
+        log = IssueLog()
+        translated, plan = translate_module(module, log)
+        assert set(translated.port_names()) == {"in_sig", "out_sig"}
+        assert plan.renamed_count == 2
+        assert len(log) == 2
+
+    def test_back_mapping(self):
+        plan = plan_renames(["in"])
+        assert plan.name_map.unmap("in_sig") == "in"
+
+    def test_script_impact(self):
+        plan = plan_renames(["in", "out", "clk"])
+        script = "probe in\nprobe clk\ncompare out expected\nprobe in\n"
+        impact = script_impact(script, plan)
+        assert impact.broken_lines == 3
+        affected_names = {name for _l, name, _t in impact.affected}
+        assert affected_names == {"in", "out"}
+
+    def test_rewrite_script(self):
+        plan = plan_renames(["in"])
+        assert rewrite_script("probe in; probe inside", plan) == "probe in_sig; probe inside"

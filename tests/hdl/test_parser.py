@@ -1,0 +1,200 @@
+"""Tests for the HDL parser."""
+
+import pytest
+
+from cadinterop.hdl.ast_nodes import (
+    Assign,
+    Binary,
+    Cond,
+    Const,
+    Delay,
+    HDLError,
+    If,
+    Unary,
+    Var,
+)
+from cadinterop.hdl.parser import ParseError, parse, parse_module
+
+
+class TestModuleStructure:
+    def test_ports_and_nets(self):
+        m = parse_module(
+            "module m (a, y); input a; output y; wire w; reg r; endmodule"
+        )
+        assert m.port_names() == ["a", "y"]
+        assert m.nets["w"].kind == "wire"
+        assert m.nets["r"].kind == "reg"
+
+    def test_port_direction_upgrade_to_reg(self):
+        m = parse_module("module m (y); output y; reg y; endmodule")
+        assert m.nets["y"].kind == "reg"
+
+    def test_header_port_without_direction_rejected(self):
+        with pytest.raises(HDLError):
+            parse_module("module m (a); wire a; endmodule")
+
+    def test_undeclared_signal_rejected(self):
+        with pytest.raises(HDLError):
+            parse_module("module m (); always @(ghost) ghost2 = ghost; endmodule")
+
+    def test_multiple_modules(self):
+        unit = parse(
+            "module a (); endmodule module b (); endmodule"
+        )
+        assert set(unit.modules) == {"a", "b"}
+        assert unit.top == "a"
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ParseError):
+            parse("   // nothing\n")
+
+
+class TestItems:
+    def test_assign_with_delay(self):
+        m = parse_module("module m (a, y); input a; output y; assign #3 y = ~a; endmodule")
+        assert m.assigns[0].delay == 3
+        assert m.assigns[0].expr == Unary("~", Var("a"))
+
+    def test_gate_with_delay(self):
+        m = parse_module("module m (a, b, y); input a, b; output y; nand #2 g (y, a, b); endmodule")
+        gate = m.gates[0]
+        assert gate.gate == "nand" and gate.delay == 2
+        assert gate.output == "y" and gate.inputs == ["a", "b"]
+
+    def test_gate_arity_checked(self):
+        with pytest.raises(HDLError):
+            parse_module("module m (y); output y; not g (y); endmodule")
+
+    def test_module_instance_named_connections(self):
+        unit = parse(
+            """
+            module child (p, q); input p; output q; assign q = p; endmodule
+            module top (x, y); input x; output y;
+              child u1 (.p(x), .q(y));
+            endmodule
+            """
+        )
+        inst = unit.module("top").instances[0]
+        assert inst.module_name == "child"
+        assert inst.connections == {"p": "x", "q": "y"}
+
+    def test_duplicate_port_connection_rejected(self):
+        with pytest.raises(ParseError):
+            parse(
+                """
+                module child (p); input p; endmodule
+                module top (x); input x; child u1 (.p(x), .p(x)); endmodule
+                """
+            )
+
+    def test_always_sensitivity_variants(self):
+        m = parse_module(
+            """
+            module m (clk, a, b);
+              input clk, a, b; reg q, r, s;
+              always @(posedge clk) q <= a;
+              always @(a or b) r = a;
+              always @(*) s = b;
+            endmodule
+            """
+        )
+        assert m.always_blocks[0].sensitivity.items[0].edge == "posedge"
+        assert m.always_blocks[0].body[0].nonblocking
+        assert m.always_blocks[1].sensitivity.signals() == {"a", "b"}
+        assert m.always_blocks[2].sensitivity.star
+
+    def test_comma_sensitivity_list(self):
+        m = parse_module("module m (a, b); input a, b; reg r; always @(a, b) r = a; endmodule")
+        assert m.always_blocks[0].sensitivity.signals() == {"a", "b"}
+
+    def test_initial_with_delays(self):
+        m = parse_module(
+            "module m (); reg a; initial begin a = 1'b0; #5 a = 1'b1; #3 a = 1'b0; end endmodule"
+        )
+        body = m.initial_blocks[0].body
+        kinds = [type(s).__name__ for s in body]
+        assert kinds == ["Assign", "Delay", "Assign", "Delay", "Assign"]
+        assert body[1].amount == 5
+
+    def test_if_else(self):
+        m = parse_module(
+            """
+            module m (a, b); input a, b; reg y;
+            always @(a or b) if (a) y = b; else y = ~b;
+            endmodule
+            """
+        )
+        stmt = m.always_blocks[0].body[0]
+        assert isinstance(stmt, If) and stmt.else_body is not None
+
+
+class TestExpressions:
+    def parse_expr(self, text):
+        m = parse_module(
+            f"module m (a, b, c, y); input a, b, c; output y; assign y = {text}; endmodule"
+        )
+        return m.assigns[0].expr
+
+    def test_precedence_and_over_or(self):
+        expr = self.parse_expr("a | b & c")
+        assert expr == Binary("|", Var("a"), Binary("&", Var("b"), Var("c")))
+
+    def test_equality_binds_tighter_than_and(self):
+        expr = self.parse_expr("a & b == c")
+        assert expr == Binary("&", Var("a"), Binary("==", Var("b"), Var("c")))
+
+    def test_parentheses(self):
+        expr = self.parse_expr("(a | b) & c")
+        assert expr == Binary("&", Binary("|", Var("a"), Var("b")), Var("c"))
+
+    def test_ternary(self):
+        expr = self.parse_expr("a ? b : c")
+        assert expr == Cond(Var("a"), Var("b"), Var("c"))
+
+    def test_nested_ternary_right_assoc(self):
+        expr = self.parse_expr("a ? b : a ? c : b")
+        assert isinstance(expr.if_false, Cond)
+
+    def test_case_equality(self):
+        expr = self.parse_expr("a === 1'bz")
+        assert expr == Binary("===", Var("a"), Const("z"))
+
+    def test_literals(self):
+        assert self.parse_expr("1'bx") == Const("x")
+        assert self.parse_expr("0") == Const("0")
+
+    def test_unary_chain(self):
+        assert self.parse_expr("~~a") == Unary("~", Unary("~", Var("a")))
+
+    def test_logical_ops(self):
+        expr = self.parse_expr("a && b || c")
+        assert expr == Binary("||", Binary("&&", Var("a"), Var("b")), Var("c"))
+
+    def test_unsupported_number(self):
+        with pytest.raises(ParseError):
+            self.parse_expr("42")
+
+
+class TestLexical:
+    def test_comments(self):
+        m = parse_module(
+            """
+            // line comment
+            module m (a); /* block
+            comment */ input a;
+            endmodule
+            """
+        )
+        assert m.name == "m"
+
+    def test_escaped_identifier(self):
+        m = parse_module("module m (); wire \\bus[3] ; assign \\bus[3] = 1'b0; endmodule")
+        assert "bus[3]" in m.nets
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_module("module m (a);\ninput a;\n%%%\nendmodule")
+        except ParseError as exc:
+            assert exc.line == 3
+        else:
+            pytest.fail("expected ParseError")

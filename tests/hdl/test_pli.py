@@ -1,0 +1,96 @@
+"""Tests for the PLI-style extension interface."""
+
+import pytest
+
+from cadinterop.hdl.pli import (
+    ALL_PLATFORMS,
+    BuildResult,
+    HPUX_LIKE,
+    LINUX_LIKE,
+    PliModule,
+    PliRegistry,
+    SimulatorLinkSpec,
+    SUNOS_LIKE,
+    TURBO_LINK,
+    XL_LINK,
+    build_pli,
+)
+
+
+def monitor_module(**kwargs):
+    module = PliModule("monitor", **kwargs)
+    module.add_task("$count_events", lambda *events: len(events))
+    return module
+
+
+class TestPliModule:
+    def test_task_names_must_start_with_dollar(self):
+        with pytest.raises(ValueError):
+            PliModule("m").add_task("count", lambda: 0)
+
+    def test_duplicate_task_rejected(self):
+        module = monitor_module()
+        with pytest.raises(ValueError):
+            module.add_task("$count_events", lambda: 0)
+
+
+class TestBuild:
+    def test_commands_per_platform_differ(self):
+        commands = {
+            platform.name: build_pli(monitor_module(), platform, TURBO_LINK).command_lines
+            for platform in ALL_PLATFORMS
+        }
+        # Paper: compilers, flags, and linking differ per platform.
+        flat = [" ".join(lines) for lines in commands.values()]
+        assert len(set(flat)) == len(ALL_PLATFORMS)
+        assert "-fPIC" in " ".join(commands["linux-like"])
+        assert "+z" in " ".join(commands["hpux-like"])
+
+    def test_static_relink_includes_veriuser_table(self):
+        result = build_pli(monitor_module(), SUNOS_LIKE, XL_LINK)
+        assert result.ok
+        assert any("veriuser.c" in line for line in result.command_lines)
+
+    def test_wrong_platform_object_fails(self):
+        module = monitor_module(source_platform="sunos-like")
+        result = build_pli(module, LINUX_LIKE, TURBO_LINK)
+        assert not result.ok
+        assert result.log.has_errors()
+
+    def test_dynamic_requirement_vs_static_simulator(self):
+        module = monitor_module(requires_dynamic_load=True)
+        result = build_pli(module, LINUX_LIKE, XL_LINK)
+        assert not result.ok
+
+    def test_bad_link_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatorLinkSpec("s", "hotpatch", veriuser_table=False)
+
+
+class TestRegistry:
+    def test_load_and_call(self):
+        registry = PliRegistry()
+        build = build_pli(monitor_module(), LINUX_LIKE, TURBO_LINK)
+        registry.load(monitor_module(), build)
+        assert registry.call("$count_events", 1, 2, 3) == 3
+        assert registry.tasks() == ["$count_events"]
+
+    def test_failed_build_not_loadable(self):
+        registry = PliRegistry()
+        module = monitor_module(requires_dynamic_load=True)
+        build = build_pli(module, LINUX_LIKE, XL_LINK)
+        with pytest.raises(RuntimeError):
+            registry.load(module, build)
+
+    def test_unknown_task(self):
+        with pytest.raises(RuntimeError):
+            PliRegistry().call("$ghost")
+
+    def test_conflicting_providers_rejected(self):
+        registry = PliRegistry()
+        build = build_pli(monitor_module(), LINUX_LIKE, TURBO_LINK)
+        registry.load(monitor_module(), build)
+        other = PliModule("other")
+        other.add_task("$count_events", lambda: -1)
+        with pytest.raises(RuntimeError):
+            registry.load(other, build_pli(other, LINUX_LIKE, TURBO_LINK))

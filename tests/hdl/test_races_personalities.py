@@ -1,0 +1,136 @@
+"""Tests for simulator personalities and ensemble race detection."""
+
+import pytest
+
+from cadinterop.common.diagnostics import IssueLog
+from cadinterop.hdl.parser import parse_module
+from cadinterop.hdl.personalities import (
+    DEFAULT_ENSEMBLE,
+    NameAliasError,
+    PC8_LIKE,
+    SimulatorPersonality,
+    TURBO_LIKE,
+    XL_LIKE,
+    run_personality,
+)
+from cadinterop.hdl.races import detect_races
+from cadinterop.hdl.simulator import FIFO
+
+RACY_SRC = """
+module race (clk);
+  input clk;
+  reg clk, b, d, flag;
+  wire a;
+  assign a = b;
+  always @(posedge clk) if (a != d) flag = 1; else flag = 0;
+  always @(posedge clk) b = d;
+  initial begin d = 1'b1; b = 1'b0; flag = 1'b0; clk = 1'b0; #5 clk = 1'b1; end
+endmodule
+"""
+
+CLEAN_SRC = """
+module clean (clk);
+  input clk;
+  reg clk, b, d, flag;
+  always @(posedge clk) b <= d;
+  always @(posedge clk) flag <= d;
+  initial begin d = 1'b1; b = 1'b0; flag = 1'b0; clk = 1'b0; #5 clk = 1'b1; end
+endmodule
+"""
+
+
+class TestPersonalities:
+    def test_xl_and_turbo_disagree_on_race(self):
+        """The paper's 'legitimately disagree': same model, both correct."""
+        module = parse_module(RACY_SRC)
+        xl = run_personality(module, XL_LIKE, until=100)
+        turbo = run_personality(module, TURBO_LIKE, until=100)
+        assert xl.value("flag") != turbo.value("flag")
+
+    def test_personalities_agree_on_clean_model(self):
+        module = parse_module(CLEAN_SRC)
+        results = {
+            p.name: run_personality(module, p, until=100).value("flag")
+            for p in DEFAULT_ENSEMBLE
+        }
+        assert len(set(results.values())) == 1
+
+    def test_pc8_truncation_aliases_error(self):
+        module = parse_module(
+            """
+            module m ();
+              reg cntr_reset1, cntr_reset2;
+              initial begin cntr_reset1 = 1'b0; cntr_reset2 = 1'b1; end
+            endmodule
+            """
+        )
+        log = IssueLog()
+        with pytest.raises(NameAliasError):
+            run_personality(module, PC8_LIKE, log=log)
+        assert log.has_errors()
+
+    def test_pc8_truncates_but_simulates_unique_names(self):
+        module = parse_module(
+            """
+            module m ();
+              reg very_long_signal_name;
+              initial very_long_signal_name = 1'b1;
+            endmodule
+            """
+        )
+        sim = run_personality(module, PC8_LIKE, until=10)
+        assert sim.value("very_lon") == "1"
+
+    def test_unlimited_personality_untouched(self):
+        module = parse_module("module m (); reg abcdefghij; initial abcdefghij = 1'b1; endmodule")
+        sim = run_personality(module, XL_LIKE, until=10)
+        assert sim.value("abcdefghij") == "1"
+
+
+class TestRaceDetection:
+    def test_racy_model_flagged(self):
+        report = detect_races(parse_module(RACY_SRC), observed=["flag"], until=100)
+        assert report.has_race
+        assert report.racy_signals == ["flag"]
+        assert report.log.has_errors()
+        assert "RACE" in report.summary()
+
+    def test_clean_model_passes(self):
+        report = detect_races(parse_module(CLEAN_SRC), observed=["flag", "b"], until=100)
+        assert not report.has_race
+        assert "race-free" in report.summary()
+
+    def test_divergence_details(self):
+        report = detect_races(parse_module(RACY_SRC), observed=["flag"], until=100)
+        divergence = report.divergences[0]
+        assert set(divergence.final_values) == {p.name for p in DEFAULT_ENSEMBLE}
+        assert set(divergence.outcomes) == {"0", "1"}
+
+    def test_observed_defaults_to_all_signals(self):
+        report = detect_races(parse_module(RACY_SRC), until=100)
+        assert "flag" in report.racy_signals
+
+    def test_needs_two_personalities(self):
+        with pytest.raises(ValueError):
+            detect_races(parse_module(CLEAN_SRC), personalities=[XL_LIKE])
+
+    def test_waveform_only_divergence_counts(self):
+        """A glitch that converges to the same final value is still a race."""
+        src = """
+        module g (clk);
+          input clk;
+          reg clk, b, d, y;
+          wire a;
+          assign a = b;
+          always @(posedge clk) b = d;
+          always @(posedge clk) y = a;
+          always @(a) y = a;
+          initial begin d = 1'b1; b = 1'b0; y = 1'b0; clk = 1'b0; #5 clk = 1'b1; end
+        endmodule
+        """
+        report = detect_races(parse_module(src), observed=["y"], until=100)
+        # Final y converges to 1 everywhere, but the waveforms differ.
+        if report.has_race:
+            assert report.divergences[0].waveform_mismatch or (
+                len(set(report.divergences[0].final_values.values())) > 1
+            )

@@ -1,0 +1,302 @@
+"""Tests for synthesis subsets, sensitivity analysis, netlisting, constraints."""
+
+import pytest
+
+from cadinterop.common.diagnostics import IssueLog
+from cadinterop.hdl.parser import parse_module
+from cadinterop.hdl.simulator import simulate
+from cadinterop.hdl.synth import (
+    ALL_DIALECTS,
+    ConstraintSet,
+    DEFAULT_VENDORS,
+    DialectCsvLike,
+    DialectIniLike,
+    DialectSdcLike,
+    SYNTH_A,
+    SYNTH_B,
+    SYNTH_C,
+    SynthesisError,
+    analyze,
+    extract_features,
+    intersection,
+    migrate_constraints,
+    portability_report,
+    simulation_synthesis_mismatch,
+    synthesis_interpretation,
+    synthesize,
+    written_in_intersection,
+)
+
+PAPER_EXAMPLE = """
+module style (a, b, out);
+  input a, b; output out;
+  reg out, c;
+  always @(a or b) out = a & b & c;
+  initial begin c = 1'b1; a = 1'b1; b = 1'b1; end
+  initial begin #10 c = 1'b0; end
+endmodule
+"""
+
+
+class TestFeatureExtraction:
+    def test_basic_features(self):
+        m = parse_module(
+            """
+            module m (a, y); input a; output y; reg q;
+            assign #2 y = ~a;
+            always @(posedge a) q <= 1'b1;
+            endmodule
+            """
+        )
+        features = extract_features(m)
+        assert "continuous-assign" in features
+        assert "assign-delay" in features
+        assert "always-edge" in features
+        assert "nonblocking-assign" in features
+
+    def test_tristate_and_case_equality(self):
+        m = parse_module(
+            "module m (a, y); input a; output y; assign y = a === 1'bz; endmodule"
+        )
+        features = extract_features(m)
+        assert "tristate-z" in features and "case-equality" in features
+
+    def test_multiple_drivers(self):
+        m = parse_module(
+            """
+            module m (a, b, y); input a, b; output y;
+            buf g1 (y, a);
+            buf g2 (y, b);
+            endmodule
+            """
+        )
+        assert "multiple-drivers" in extract_features(m)
+
+    def test_blocking_in_edge_block(self):
+        m = parse_module(
+            "module m (clk, d); input clk, d; reg q; always @(posedge clk) q = d; endmodule"
+        )
+        assert "blocking-in-edge-block" in extract_features(m)
+
+
+class TestSubsets:
+    def test_vendors_differ(self):
+        sets = {v.name: v.accepted for v in DEFAULT_VENDORS}
+        assert len(set(map(frozenset, sets.values()))) == 3
+
+    def test_intersection_is_subset_of_each(self):
+        common = intersection(DEFAULT_VENDORS)
+        for vendor in DEFAULT_VENDORS:
+            assert common <= vendor.accepted
+
+    def test_star_block_rejected_by_synthB(self):
+        m = parse_module(
+            "module m (a, y); input a; output y; reg y; always @(*) y = a; endmodule"
+        )
+        assert SYNTH_A.accepts(m)
+        assert not SYNTH_B.accepts(m)
+        assert "always-star" in SYNTH_B.violations(m)
+
+    def test_portability_report(self):
+        m = parse_module(PAPER_EXAMPLE)
+        report = portability_report(m)
+        # initial-block is rejected by every vendor (testbench construct).
+        assert not report.portable
+        assert "initial-block" in report.blocking_features()
+
+    def test_intersection_rule_predicate(self):
+        portable = parse_module(
+            """
+            module p (clk, d, q); input clk, d; output q; reg q;
+            always @(posedge clk) q <= d;
+            endmodule
+            """
+        )
+        assert written_in_intersection(portable)
+
+    def test_level_always_fails_synthC(self):
+        m = parse_module(
+            "module m (a, y); input a; output y; reg y; always @(a) y = a; endmodule"
+        )
+        assert "always-level" in SYNTH_C.violations(m)
+
+
+class TestSensitivityAnalysis:
+    def test_paper_example_missing_c(self):
+        log = IssueLog()
+        findings = analyze(parse_module(PAPER_EXAMPLE), log)
+        assert findings[0].missing == {"c"}
+        assert any("disagree" in i.message for i in log)
+
+    def test_complete_list_clean(self):
+        m = parse_module(
+            "module m (a, b); input a, b; reg y; always @(a or b) y = a & b; endmodule"
+        )
+        findings = analyze(m)
+        assert not findings[0].has_issue
+
+    def test_star_is_complete(self):
+        m = parse_module(
+            "module m (a, b); input a, b; reg y; always @(*) y = a & b; endmodule"
+        )
+        assert not analyze(m)[0].missing
+
+    def test_edge_blocks_exempt(self):
+        m = parse_module(
+            "module m (clk, d); input clk, d; reg q; always @(posedge clk) q <= d; endmodule"
+        )
+        assert not analyze(m)[0].has_issue
+
+    def test_latch_inference_flagged(self):
+        m = parse_module(
+            "module m (en, d); input en, d; reg q; always @(en or d) if (en) q = d; endmodule"
+        )
+        findings = analyze(m)
+        assert findings[0].latch_targets == {"q"}
+
+    def test_extra_signals_reported(self):
+        m = parse_module(
+            "module m (a, b); input a, b; reg y; always @(a or b) y = a; endmodule"
+        )
+        assert analyze(m)[0].extra == {"b"}
+
+    def test_synthesis_interpretation_full_sensitivity(self):
+        interpreted = synthesis_interpretation(parse_module(PAPER_EXAMPLE))
+        block = interpreted.always_blocks[0]
+        assert block.sensitivity.signals() == {"a", "b", "c"}
+
+    def test_simulation_vs_synthesis_mismatch(self):
+        """The paper's exact trap: sim holds stale out=1; synthesis sees 0."""
+        report = simulation_synthesis_mismatch(
+            parse_module(PAPER_EXAMPLE), observed=["out"], until=100
+        )
+        assert report.mismatch
+        assert report.diverging["out"] == ("1", "0")
+
+    def test_no_mismatch_for_complete_list(self):
+        m = parse_module(
+            """
+            module ok (a, b, out);
+              input a, b; output out; reg out, c;
+              always @(a or b or c) out = a & b & c;
+              initial begin c = 1'b1; a = 1'b1; b = 1'b1; end
+              initial begin #10 c = 1'b0; end
+            endmodule
+            """
+        )
+        assert not simulation_synthesis_mismatch(m, ["out"], until=100).mismatch
+
+
+class TestSynthesize:
+    def test_comb_netlist_equivalence(self):
+        m = parse_module(
+            """
+            module comb (a, b, c, y);
+              input a, b, c; output y; reg y, a, b, c;
+              always @(*) if (a) y = b ^ c; else y = b | c;
+              initial begin a = 1'b1; b = 1'b1; c = 1'b0; end
+            endmodule
+            """
+        )
+        result = synthesize(m)
+        assert result.gate_count > 0 and result.latch_count == 0
+        sim_rtl = simulate(m, until=10)
+        sim_gate = simulate(result.netlist, until=10)
+        assert sim_rtl.value("y") == sim_gate.value("y") == "1"
+
+    def test_ff_kept_as_process(self):
+        m = parse_module(
+            """
+            module ff (clk, d, q);
+              input clk, d; output q; reg q, clk, d;
+              always @(posedge clk) q <= d;
+              initial begin d = 1'b1; clk = 1'b0; #5 clk = 1'b1; end
+            endmodule
+            """
+        )
+        result = synthesize(m)
+        assert result.ff_count == 1
+        sim = simulate(result.netlist, until=10)
+        assert sim.value("q") == "1"
+
+    def test_latch_synthesized_with_feedback(self):
+        m = parse_module(
+            """
+            module lat (en, d, q);
+              input en, d; output q; reg q, en, d;
+              always @(en or d) if (en) q = d;
+              initial begin en = 1'b1; d = 1'b1; #5 en = 1'b0; #5 d = 1'b0; end
+            endmodule
+            """
+        )
+        result = synthesize(m)
+        assert result.latch_count == 1
+        sim = simulate(result.netlist, until=20)
+        assert sim.value("q") == "1"  # latched despite d falling
+
+    def test_synthesized_netlist_exposes_paper_mismatch(self):
+        """Gate netlist of the incomplete-list block responds to c."""
+        result = synthesize(parse_module(PAPER_EXAMPLE))
+        sim = simulate(result.netlist, until=100)
+        assert sim.value("out") == "0"  # RTL sim would say 1
+
+    def test_profile_gate(self):
+        m = parse_module(PAPER_EXAMPLE)
+        with pytest.raises(SynthesisError):
+            synthesize(m, profile=SYNTH_B)
+
+    def test_hierarchy_rejected(self):
+        from cadinterop.hdl.parser import parse
+
+        unit = parse(
+            """
+            module c (p); input p; endmodule
+            module t (); wire w; c u1 (.p(w)); endmodule
+            """
+        )
+        unit.top = "t"
+        with pytest.raises(SynthesisError):
+            synthesize(unit.top_module)
+
+
+class TestConstraints:
+    def full_constraints(self):
+        return ConstraintSet(
+            clock_period=10.0,
+            clock_port="clk",
+            input_delays={"a": 2.0},
+            output_delays={"y": 3.0},
+            max_fanout=8,
+            max_transition=0.5,
+            dont_touch=["u_analog"],
+            multicycle_paths={"u1/ff/d": 2},
+        )
+
+    def test_sdc_roundtrip_lossless(self):
+        dialect = DialectSdcLike()
+        c = self.full_constraints()
+        loaded = dialect.load(dialect.dump(c))
+        assert loaded == c
+
+    def test_ini_loses_advanced_features(self):
+        log = IssueLog()
+        migrated, lost = migrate_constraints(
+            self.full_constraints(), DialectSdcLike(), DialectIniLike(), log
+        )
+        assert set(lost) == {"max_transition", "dont_touch", "multicycle"}
+        assert migrated.clock_period == 10.0
+        assert migrated.multicycle_paths == {}
+        assert len(log) == 3
+
+    def test_csv_keeps_only_clock_and_io(self):
+        _migrated, lost = migrate_constraints(
+            self.full_constraints(), DialectSdcLike(), DialectCsvLike()
+        )
+        assert "max_fanout" in lost
+
+    def test_lossless_within_support(self):
+        c = ConstraintSet(clock_period=5.0, clock_port="clk", input_delays={"a": 1.0})
+        for dialect in ALL_DIALECTS:
+            migrated, lost = migrate_constraints(c, DialectSdcLike(), dialect)
+            assert lost == []
+            assert migrated == c

@@ -1,0 +1,119 @@
+"""Tests for timing checks and the +pre_16a_path compatibility switch."""
+
+import pytest
+
+from cadinterop.hdl.timing import (
+    ALL_VERSIONS,
+    SimulatorVersion,
+    TimingCheck,
+    TimingChecker,
+    V15B,
+    V16A,
+    V20,
+    version_drift,
+)
+
+
+def clock_wave(period=20, edges=4):
+    wave = []
+    t = 0
+    for _ in range(edges):
+        wave.append((t, "0"))
+        wave.append((t + period // 2, "1"))
+        t += period
+    return wave
+
+
+class TestCheckValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            TimingCheck("slew", "d", "clk", 5)
+
+    def test_bad_limit(self):
+        with pytest.raises(ValueError):
+            TimingCheck("setup", "d", "clk", 0)
+
+
+class TestSetupHold:
+    def test_clear_setup_passes(self):
+        waves = {"clk": [(0, "0"), (50, "1")], "d": [(0, "0"), (10, "1")]}
+        checker = TimingChecker(V15B)
+        check = TimingCheck("setup", "d", "clk", limit=20)
+        assert checker.check(check, waves) == []
+
+    def test_setup_violation(self):
+        waves = {"clk": [(0, "0"), (50, "1")], "d": [(0, "0"), (45, "1")]}
+        checker = TimingChecker(V15B)
+        check = TimingCheck("setup", "d", "clk", limit=20)
+        violations = checker.check(check, waves)
+        assert len(violations) == 1
+        assert violations[0].observed == 5
+
+    def test_hold_violation(self):
+        waves = {"clk": [(0, "0"), (50, "1")], "d": [(0, "0"), (52, "1")]}
+        checker = TimingChecker(V16A)
+        check = TimingCheck("hold", "d", "clk", limit=5)
+        violations = checker.check(check, waves)
+        assert len(violations) == 1
+        assert violations[0].observed == 2
+
+    def test_hold_clear(self):
+        waves = {"clk": [(0, "0"), (50, "1")], "d": [(0, "0"), (70, "1")]}
+        checker = TimingChecker(V16A)
+        assert checker.check(TimingCheck("hold", "d", "clk", 5), waves) == []
+
+    def test_width_check(self):
+        waves = {"p": [(0, "0"), (10, "1"), (13, "0")]}
+        checker = TimingChecker(V15B)
+        violations = checker.check(TimingCheck("width", "p", "p", limit=5), waves)
+        assert len(violations) == 1 and violations[0].observed == 3
+
+    def test_negedge_reference(self):
+        waves = {"clk": [(0, "1"), (50, "0")], "d": [(0, "0"), (48, "1")]}
+        checker = TimingChecker(V15B)
+        check = TimingCheck("setup", "d", "clk", limit=5, reference_edge="negedge")
+        assert len(checker.check(check, waves)) == 1
+
+
+class TestVersionBoundary:
+    """The modelled 1.6a change: boundary-equal events."""
+
+    WAVES = {"clk": [(0, "0"), (50, "1")], "d": [(0, "0"), (30, "1")]}
+    CHECK = TimingCheck("setup", "d", "clk", limit=20)  # margin exactly 20
+
+    def test_pre_16a_boundary_passes(self):
+        assert TimingChecker(V15B).check(self.CHECK, self.WAVES) == []
+
+    def test_post_16a_boundary_violates(self):
+        assert len(TimingChecker(V16A).check(self.CHECK, self.WAVES)) == 1
+        assert len(TimingChecker(V20).check(self.CHECK, self.WAVES)) == 1
+
+    def test_compat_flag_restores_old_behavior(self):
+        """+pre_16a_path: new versions behave like pre-1.6a."""
+        checker = TimingChecker(V20, pre_16a_path=True)
+        assert checker.check(self.CHECK, self.WAVES) == []
+        assert "pre_16a_path" in checker.version.name
+
+    def test_compat_flag_noop_on_old_version(self):
+        checker = TimingChecker(V15B, pre_16a_path=True)
+        assert checker.version == V15B
+
+
+class TestDrift:
+    WAVES = {"clk": [(0, "0"), (50, "1")], "d": [(0, "0"), (30, "1")]}
+    CHECKS = [TimingCheck("setup", "d", "clk", limit=20)]
+
+    def test_results_drift_across_versions(self):
+        report = version_drift(self.CHECKS, self.WAVES)
+        assert report.drifts
+        assert report.per_version == {"1.5b": 0, "1.6a": 1, "2.0": 1}
+
+    def test_compat_flag_pins_results(self):
+        report = version_drift(self.CHECKS, self.WAVES, pre_16a_path=True)
+        assert not report.drifts
+        assert set(report.per_version.values()) == {0}
+
+    def test_non_boundary_cases_stable_anyway(self):
+        waves = {"clk": [(0, "0"), (50, "1")], "d": [(0, "0"), (10, "1")]}
+        report = version_drift(self.CHECKS, waves)
+        assert not report.drifts

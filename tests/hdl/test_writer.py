@@ -1,0 +1,193 @@
+"""Round-trip tests for the HDL writer: parse(write(m)) == m."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from cadinterop.hdl.ast_nodes import (
+    Binary,
+    Cond,
+    Const,
+    Module,
+    Unary,
+    Var,
+)
+from cadinterop.hdl.parser import parse, parse_module
+from cadinterop.hdl.simulator import Simulator, simulate
+from cadinterop.hdl.writer import write_design, write_expr, write_module
+
+
+def modules_equal(a: Module, b: Module) -> bool:
+    if a.name != b.name:
+        return False
+    if [(p.name, p.direction) for p in a.ports] != [(p.name, p.direction) for p in b.ports]:
+        return False
+    if {n: d.kind for n, d in a.nets.items()} != {n: d.kind for n, d in b.nets.items()}:
+        return False
+    if [(x.target, x.expr, x.delay) for x in a.assigns] != [
+        (x.target, x.expr, x.delay) for x in b.assigns
+    ]:
+        return False
+    if [(g.gate, g.output, g.inputs, g.delay) for g in a.gates] != [
+        (g.gate, g.output, g.inputs, g.delay) for g in b.gates
+    ]:
+        return False
+    if len(a.always_blocks) != len(b.always_blocks):
+        return False
+    for block_a, block_b in zip(a.always_blocks, b.always_blocks):
+        if block_a.sensitivity.star != block_b.sensitivity.star:
+            return False
+        if [(i.signal, i.edge) for i in block_a.sensitivity.items] != [
+            (i.signal, i.edge) for i in block_b.sensitivity.items
+        ]:
+            return False
+        if repr(block_a.body) != repr(block_b.body):
+            return False
+    if len(a.initial_blocks) != len(b.initial_blocks):
+        return False
+    for block_a, block_b in zip(a.initial_blocks, b.initial_blocks):
+        if repr(block_a.body) != repr(block_b.body):
+            return False
+    if [(i.name, i.module_name, i.connections) for i in a.instances] != [
+        (i.name, i.module_name, i.connections) for i in b.instances
+    ]:
+        return False
+    return True
+
+
+FIXTURES = [
+    """
+    module comb (a, b, c, y);
+      input a, b, c; output y;
+      wire w;
+      assign #2 w = a & b | ~c;
+      assign y = w ^ (a ~^ b);
+    endmodule
+    """,
+    """
+    module seq (clk, d, q, qb);
+      input clk, d; output q, qb;
+      reg q, qb;
+      always @(posedge clk) begin
+        q <= d;
+        qb <= ~d;
+      end
+      always @(negedge clk) q <= 1'b0;
+    endmodule
+    """,
+    """
+    module styles (a, b);
+      input a, b; reg x, y;
+      always @(*) x = a ? b : ~b;
+      always @(a or b) begin
+        if (a & b) y = 1'b1;
+        else begin
+          y = 1'b0;
+          x = b;
+        end
+      end
+      initial begin x = 1'b0; #5 x = 1'b1; #3 y = 1'bz; end
+    endmodule
+    """,
+    """
+    module gates (a, b, en, y);
+      input a, b, en; output y;
+      wire n1, n2;
+      nand #3 g1 (n1, a, b);
+      bufif1 g2 (y, n1, en);
+      xor g3 (n2, a, b, en);
+    endmodule
+    """,
+    """
+    module logic_ops (a, b, y);
+      input a, b; output y;
+      assign y = a && b || !(a == b) & (a !== 1'bx);
+    endmodule
+    """,
+]
+
+
+class TestModuleRoundTrip:
+    @pytest.mark.parametrize("source", FIXTURES, ids=range(len(FIXTURES)))
+    def test_roundtrip_structural(self, source):
+        original = parse_module(source)
+        text = write_module(original)
+        reparsed = parse_module(text)
+        assert modules_equal(original, reparsed), text
+
+    @pytest.mark.parametrize("source", FIXTURES[:3], ids=range(3))
+    def test_roundtrip_behavioral(self, source):
+        original = parse_module(source)
+        reparsed = parse_module(write_module(original))
+        sim_a = simulate(original, until=100)
+        sim_b = simulate(reparsed, until=100)
+        for signal in original.nets:
+            assert sim_a.value(signal) == sim_b.value(signal)
+
+    def test_escaped_identifier_roundtrip(self):
+        source = "module m (); wire \\bus[3] ; assign \\bus[3] = 1'b0; endmodule"
+        original = parse_module(source)
+        reparsed = parse_module(write_module(original))
+        assert "bus[3]" in reparsed.nets
+
+    def test_hierarchy_roundtrip(self):
+        source = """
+        module child (p, q); input p; output q; assign q = ~p; endmodule
+        module top (x, y); input x; output y; wire m;
+          child u1 (.p(x), .q(m));
+          child u2 (.p(m), .q(y));
+        endmodule
+        """
+        unit = parse(source)
+        text = write_design(unit)
+        reparsed = parse(text)
+        assert set(reparsed.modules) == {"child", "top"}
+        assert modules_equal(unit.module("top"), reparsed.module("top"))
+
+    def test_synthesized_netlist_roundtrips(self):
+        module = parse_module(
+            """
+            module m (a, b, y); input a, b; output y; reg y;
+            always @(*) if (a) y = b; else y = ~b;
+            endmodule
+            """
+        )
+        from cadinterop.hdl.synth import synthesize
+
+        netlist = synthesize(module).netlist
+        reparsed = parse_module(write_module(netlist))
+        assert modules_equal(netlist, reparsed)
+
+
+# ---------------------------------------------------------------------------
+# Property: random expression trees survive write/parse
+# ---------------------------------------------------------------------------
+
+_vars = st.sampled_from([Var("a"), Var("b"), Var("c")])
+_leaves = st.one_of(_vars, st.sampled_from([Const("0"), Const("1"), Const("x"), Const("z")]))
+
+
+def _extend(children):
+    return st.one_of(
+        st.builds(Unary, st.sampled_from(["~", "!"]), children),
+        st.builds(
+            Binary,
+            st.sampled_from(list({"&", "|", "^", "~^", "&&", "||", "==", "!=", "===", "!=="})),
+            children,
+            children,
+        ),
+        st.builds(Cond, children, children, children),
+    )
+
+
+expression_trees = st.recursive(_leaves, _extend, max_leaves=12)
+
+
+class TestExpressionRoundTripProperty:
+    @given(expr=expression_trees)
+    @settings(max_examples=120, deadline=None)
+    def test_write_parse_identity(self, expr):
+        text = write_expr(expr)
+        module = parse_module(
+            f"module m (a, b, c, y); input a, b, c; output y; assign y = {text}; endmodule"
+        )
+        assert module.assigns[0].expr == expr, text

@@ -1,0 +1,172 @@
+"""Tests for platform transportability (paper Section 3.4)."""
+
+import pytest
+
+from cadinterop.common.diagnostics import IssueLog
+from cadinterop.platform.accel import (
+    ACCEL_BOX,
+    EMU_BOX,
+    Workstation,
+    migration_cost,
+)
+from cadinterop.platform.hosts import (
+    ALL_HOSTS,
+    HPUX_LIKE,
+    PC_LIKE,
+    SOLARIS_LIKE,
+    SUNOS4_LIKE,
+    command_matrix,
+    divergent_intents,
+    portable_intents,
+)
+from cadinterop.platform.scripts import check_script, is_portable, translate_script
+from cadinterop.platform.versions import ReleaseTracker
+
+
+class TestHostProfiles:
+    def test_matrix_covers_all_intents(self):
+        matrix = command_matrix()
+        assert set(matrix) == {
+            "get-hostname", "get-hostid", "get-ethernet-id",
+            "add-swap", "mount-remote", "list-processes",
+        }
+
+    def test_pc_lacks_unix_admin(self):
+        assert not PC_LIKE.supports("add-swap")
+        assert not PC_LIKE.supports("mount-remote")
+
+    def test_hostid_differs_across_unix(self):
+        """The paper's exact example: hostid commands differ per flavor."""
+        commands = {h.name: h.command_for("get-hostid") for h in (SUNOS4_LIKE, HPUX_LIKE)}
+        assert commands["sunos4-like"] != commands["hpux-like"]
+
+    def test_nothing_is_universally_identical(self):
+        assert portable_intents() == []
+
+    def test_divergence_within_unix_only(self):
+        unix = (SUNOS4_LIKE, SOLARIS_LIKE, HPUX_LIKE)
+        divergent = divergent_intents(unix)
+        assert "add-swap" in divergent
+        assert "get-ethernet-id" in divergent
+
+
+OFFICE_SCRIPT = """\
+# nightly regression setup
+hostname
+hostid
+mkfile 64m /swapfile && swapon /swapfile
+mount -t nfs server:/vol /mnt
+run_sims -all
+"""
+
+
+class TestScriptPortability:
+    def test_same_platform_clean(self):
+        assert check_script(OFFICE_SCRIPT, SUNOS4_LIKE, SUNOS4_LIKE) == []
+
+    def test_unix_to_unix_findings(self):
+        log = IssueLog()
+        findings = check_script(OFFICE_SCRIPT, SUNOS4_LIKE, SOLARIS_LIKE, log)
+        problems = {f.intent for f in findings}
+        assert "add-swap" in problems and "mount-remote" in problems
+        assert len(log) == len(findings)
+
+    def test_office_to_home_pc_unportable(self):
+        """Paper: office workstation vs home PC needs two sets of scripts."""
+        findings = check_script(OFFICE_SCRIPT, SUNOS4_LIKE, PC_LIKE)
+        missing = [f for f in findings if f.replacement is None]
+        assert missing  # some commands simply have no PC equivalent
+        assert not is_portable(OFFICE_SCRIPT, SUNOS4_LIKE, [PC_LIKE])
+
+    def test_translation_produces_second_script(self):
+        translated, untranslatable = translate_script(
+            OFFICE_SCRIPT, SUNOS4_LIKE, SOLARIS_LIKE
+        )
+        assert "swap -a /swapfile" in translated
+        assert "mount -F nfs" in translated
+        assert untranslatable == []
+        # The translated script is clean on the target.
+        assert check_script(translated, SOLARIS_LIKE, SOLARIS_LIKE) == []
+
+    def test_untranslatable_lines_commented(self):
+        translated, untranslatable = translate_script(
+            OFFICE_SCRIPT, SUNOS4_LIKE, PC_LIKE
+        )
+        assert untranslatable
+        assert "# UNPORTABLE" in translated
+
+    def test_unknown_commands_pass_through(self):
+        findings = check_script("run_sims -all\n", SUNOS4_LIKE, PC_LIKE)
+        assert findings == []
+
+
+class TestVersionSkew:
+    def build_tracker(self):
+        tracker = ReleaseTracker(["sun", "hp", "pc"])
+        tracker.record("simx", "1.5", "sun", day=0)
+        tracker.record("simx", "1.5", "hp", day=10)
+        tracker.record("simx", "1.5", "pc", day=40)
+        tracker.record("simx", "1.6", "sun", day=100)
+        tracker.record("simx", "1.6", "hp", day=121)
+        return tracker
+
+    def test_skew_during_propagation(self):
+        tracker = self.build_tracker()
+        skew = tracker.skew("simx", day=110)
+        assert skew == {"sun": "1.6", "hp": "1.5", "pc": "1.5"}
+        assert tracker.is_skewed("simx", day=110)
+
+    def test_no_skew_before_release(self):
+        tracker = self.build_tracker()
+        assert tracker.skew("simx", day=50) == {"sun": "1.5", "hp": "1.5", "pc": "1.5"}
+        assert not tracker.is_skewed("simx", day=50)
+
+    def test_propagation_lag(self):
+        tracker = self.build_tracker()
+        lag = tracker.propagation_lag("simx", "1.5")
+        assert lag == {"sun": 0, "hp": 10, "pc": 40}
+        lag16 = tracker.propagation_lag("simx", "1.6")
+        assert lag16["pc"] is None  # never arrived
+
+    def test_track_record(self):
+        """The number to check before purchasing."""
+        tracker = self.build_tracker()
+        record = tracker.track_record("simx")
+        assert record["sun"] == 0.0
+        assert record["hp"] == pytest.approx((10 + 21) / 2)
+        assert record["pc"] == 40.0
+
+    def test_unknown_platform_rejected(self):
+        tracker = self.build_tracker()
+        with pytest.raises(ValueError):
+            tracker.record("simx", "2.0", "vax", day=0)
+
+
+class TestAccelerators:
+    def test_attach_requires_port_and_driver(self):
+        host = Workstation("ws1", ports=frozenset({"scsi-2"}))
+        ok, problems = host.can_attach(ACCEL_BOX)
+        assert not ok and any("driver" in p for p in problems)
+        host.install_driver("accelsd")
+        host.attach(ACCEL_BOX)
+        assert host.run_design("cpu") == "accelsim cpu -hw"
+
+    def test_wrong_cabling_blocks(self):
+        host = Workstation("ws1", ports=frozenset({"scsi-2"}))
+        host.install_driver("emudrv")
+        ok, problems = host.can_attach(EMU_BOX)
+        assert not ok and any("port" in p for p in problems)
+        with pytest.raises(RuntimeError):
+            host.attach(EMU_BOX)
+
+    def test_migration_cost_enumerates_differences(self):
+        changes = migration_cost(EMU_BOX, ACCEL_BOX)
+        text = " ".join(changes)
+        assert "recable" in text
+        assert "driver" in text
+        assert "retrain" in text
+
+    def test_no_accelerator_attached(self):
+        host = Workstation("ws1", ports=frozenset())
+        with pytest.raises(RuntimeError):
+            host.run_design("cpu")

@@ -1,0 +1,119 @@
+"""Tests for technology and cell abstract models."""
+
+import pytest
+
+from cadinterop.common.geometry import Orientation, Point, Rect
+from cadinterop.pnr.cells import (
+    Blockage,
+    CellAbstract,
+    CellLibrary,
+    CellPin,
+    ConnectionProps,
+    PinShape,
+    derive_access_from_blockages,
+    effective_access,
+)
+from cadinterop.pnr.samples import build_cell_library
+from cadinterop.pnr.tech import Layer, Technology, generic_two_layer_tech
+
+
+class TestTechnology:
+    def test_layers_ordered(self):
+        tech = generic_two_layer_tech()
+        assert [l.name for l in tech.routing_layers()] == ["M1", "M2"]
+
+    def test_layer_for_direction(self):
+        tech = generic_two_layer_tech()
+        assert tech.layer_for_direction("horizontal").name == "M1"
+        assert tech.layer_for_direction("vertical").name == "M2"
+
+    def test_duplicate_layer_rejected(self):
+        tech = generic_two_layer_tech()
+        with pytest.raises(ValueError):
+            tech.add_layer(Layer("M1", 9, "horizontal", 1, 1, 0.1, 0.1))
+
+    def test_coupling_falls_with_distance(self):
+        layer = generic_two_layer_tech().layer("M1")
+        assert layer.coupling_at(1) > layer.coupling_at(2) > layer.coupling_at(3)
+
+    def test_coupling_distance_validated(self):
+        with pytest.raises(ValueError):
+            generic_two_layer_tech().layer("M1").coupling_at(0)
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            Layer("MX", 1, "diagonal", 1, 1, 0.1, 0.1)
+
+
+class TestConnectionProps:
+    def test_bad_access_direction(self):
+        with pytest.raises(ValueError):
+            ConnectionProps(access=frozenset({"up"}))
+
+    def test_defaults(self):
+        props = ConnectionProps()
+        assert props.access is None and not props.must_connect
+
+
+class TestCellAbstract:
+    def test_duplicate_pin_rejected(self):
+        shape = [PinShape("M1", Rect(0, 0, 2, 2))]
+        with pytest.raises(ValueError):
+            CellAbstract(
+                name="bad", width=10, height=10,
+                pins=[CellPin("A", shape), CellPin("A", shape)],
+            )
+
+    def test_pin_needs_shape(self):
+        with pytest.raises(ValueError):
+            CellPin("A", [])
+
+    def test_pin_lookup(self):
+        lib = build_cell_library()
+        inv = lib.cell("inv")
+        assert inv.pin("A").props.access == frozenset({"west", "north"})
+        with pytest.raises(KeyError):
+            inv.pin("Z")
+
+    def test_equivalent_groups(self):
+        nand = build_cell_library().cell("nand2")
+        assert nand.equivalent_groups() == {"inputs": ["A", "B"]}
+
+    def test_library_protocol(self):
+        lib = build_cell_library()
+        assert "inv" in lib and "ghost" not in lib
+        assert len(lib) == 4
+        with pytest.raises(ValueError):
+            lib.add(lib.cell("inv"))
+
+
+class TestAccessDerivation:
+    def test_blockage_blocks_north(self):
+        """The dff's M1 blockage sits above D/Q pins: north is not clear."""
+        dff = build_cell_library().cell("dff")
+        derived = derive_access_from_blockages(dff, "D")
+        assert "north" not in derived
+        assert "west" in derived  # boundary side is always approachable
+
+    def test_clear_pin_gets_all_directions(self):
+        inv = build_cell_library().cell("inv")
+        derived = derive_access_from_blockages(inv, "A")
+        assert derived == frozenset({"north", "south", "east", "west"})
+
+    def test_effective_access_property_mode(self):
+        inv = build_cell_library().cell("inv")
+        assert effective_access(inv, "A", "property") == frozenset({"west", "north"})
+
+    def test_effective_access_derived_mode_ignores_property(self):
+        """The paper's mismatch: a derived-mode tool ignores the property."""
+        inv = build_cell_library().cell("inv")
+        derived = effective_access(inv, "A", "derived")
+        assert derived != inv.pin("A").props.access
+
+    def test_property_mode_falls_back_when_absent(self):
+        dff = build_cell_library().cell("dff")
+        assert effective_access(dff, "D", "property") == derive_access_from_blockages(dff, "D")
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            effective_access(build_cell_library().cell("inv"), "A", "telepathy")

@@ -1,0 +1,152 @@
+"""Property-based round-trip tests for the P&R exchange formats."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from cadinterop.common.geometry import Orientation, Rect
+from cadinterop.pnr.cells import (
+    ACCESS_DIRECTIONS,
+    Blockage,
+    CellAbstract,
+    CellLibrary,
+    CellPin,
+    ConnectionProps,
+    PinShape,
+)
+from cadinterop.pnr.formats import lef_like, pdef_like
+from cadinterop.hdl.synth.constraints import (
+    ConstraintSet,
+    DialectSdcLike,
+)
+
+names = st.from_regex(r"[a-zA-Z][a-zA-Z0-9_]{0,10}", fullmatch=True)
+
+
+@st.composite
+def rects(draw):
+    x1 = draw(st.integers(0, 50))
+    y1 = draw(st.integers(0, 50))
+    width = draw(st.integers(1, 30))
+    height = draw(st.integers(1, 30))
+    return Rect(x1, y1, x1 + width, y1 + height)
+
+
+@st.composite
+def connection_props(draw):
+    has_access = draw(st.booleans())
+    access = (
+        frozenset(draw(st.sets(st.sampled_from(ACCESS_DIRECTIONS), min_size=1)))
+        if has_access
+        else None
+    )
+    return ConnectionProps(
+        access=access,
+        multiple_connect=draw(st.booleans()),
+        equivalent_group=draw(st.one_of(st.none(), names)),
+        must_connect=draw(st.booleans()),
+        connect_by_abutment=draw(st.booleans()),
+    )
+
+
+@st.composite
+def cells(draw):
+    pin_names = draw(st.lists(names, min_size=1, max_size=4, unique=True))
+    pins = [
+        CellPin(
+            pin_name,
+            [PinShape(draw(st.sampled_from(["M1", "M2"])), draw(rects()))],
+            draw(connection_props()),
+            use=draw(st.sampled_from(CellPin.USES)),
+        )
+        for pin_name in pin_names
+    ]
+    blockages = [
+        Blockage(draw(st.sampled_from(["M1", "M2"])), draw(rects()))
+        for _ in range(draw(st.integers(0, 2)))
+    ]
+    return CellAbstract(
+        name=draw(names),
+        width=draw(st.integers(1, 100)),
+        height=draw(st.integers(1, 100)),
+        site=draw(st.sampled_from(["core", "pad"])),
+        kind=draw(st.sampled_from(CellAbstract.KINDS)),
+        legal_orientations=tuple(
+            draw(st.sets(st.sampled_from(list(Orientation)), min_size=1))
+        ),
+        pins=pins,
+        blockages=blockages,
+    )
+
+
+class TestLefProperty:
+    @given(cell_list=st.lists(cells(), min_size=1, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_library_roundtrip(self, cell_list):
+        library = CellLibrary("randlib")
+        seen = set()
+        for cell in cell_list:
+            if cell.name in seen:
+                continue
+            seen.add(cell.name)
+            library.add(cell)
+
+        loaded = lef_like.load_library(lef_like.dump_library(library))
+        assert len(loaded) == len(library)
+        for cell in library.cells():
+            twin = loaded.cell(cell.name)
+            assert (twin.width, twin.height) == (cell.width, cell.height)
+            assert twin.site == cell.site and twin.kind == cell.kind
+            assert set(twin.legal_orientations) == set(cell.legal_orientations)
+            assert twin.pin_names() == cell.pin_names()
+            for pin in cell.pins:
+                other = twin.pin(pin.name)
+                assert other.props.access == pin.props.access
+                assert other.props.multiple_connect == pin.props.multiple_connect
+                assert other.props.equivalent_group == pin.props.equivalent_group
+                assert other.props.must_connect == pin.props.must_connect
+                assert other.props.connect_by_abutment == pin.props.connect_by_abutment
+                assert other.use == pin.use
+                assert [s.rect for s in other.shapes] == [s.rect for s in pin.shapes]
+            assert [b.rect for b in twin.blockages] == [b.rect for b in cell.blockages]
+
+
+class TestPdefProperty:
+    @given(
+        clusters=st.dictionaries(names, st.lists(names, max_size=4), max_size=3),
+        weights=st.dictionaries(
+            names, st.floats(min_value=0.1, max_value=50, allow_nan=False), max_size=4
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, clusters, weights):
+        constraints = pdef_like.PlacementConstraints("rand")
+        for name, members in clusters.items():
+            constraints.add_cluster(name, members)
+        constraints.net_weights.update(weights)
+        loaded = pdef_like.load(pdef_like.dump(constraints))
+        assert loaded.clusters == constraints.clusters
+        assert loaded.net_weights == pytest.approx(constraints.net_weights)
+
+
+class TestSdcProperty:
+    @given(
+        period=st.one_of(st.none(), st.floats(1, 100, allow_nan=False)),
+        input_delays=st.dictionaries(names, st.floats(0, 10, allow_nan=False), max_size=3),
+        max_fanout=st.one_of(st.none(), st.integers(1, 64)),
+        dont_touch=st.lists(names, max_size=3, unique=True),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, period, input_delays, max_fanout, dont_touch):
+        constraints = ConstraintSet(
+            clock_period=period,
+            clock_port="clk" if period is not None else None,
+            input_delays=input_delays,
+            max_fanout=max_fanout,
+            dont_touch=list(dont_touch),
+        )
+        dialect = DialectSdcLike()
+        loaded = dialect.load(dialect.dump(constraints))
+        assert loaded.clock_period == pytest.approx(period) if period else loaded.clock_period is None
+        assert loaded.input_delays == pytest.approx(input_delays)
+        assert loaded.max_fanout == max_fanout
+        assert loaded.dont_touch == list(dont_touch)

@@ -1,0 +1,140 @@
+"""Tests for global-net strategy realization (rings, trunks, spines)."""
+
+import pytest
+
+from cadinterop.common.geometry import Point, Rect
+from cadinterop.pnr.design import PnRDesign, pad_terminal
+from cadinterop.pnr.floorplan import Floorplan, GlobalNetStrategy
+from cadinterop.pnr.parasitics import extract
+from cadinterop.pnr.routing import GridRouter, SHIELD
+from cadinterop.pnr.tech import generic_two_layer_tech
+
+
+@pytest.fixture()
+def router():
+    tech = generic_two_layer_tech()
+    floorplan = Floorplan("g", Rect(0, 0, 300, 300))
+    return GridRouter(tech, floorplan, {})
+
+
+class TestRing:
+    def test_ring_is_closed_loop(self, router):
+        strategy = GlobalNetStrategy("VDD", "power", "ring", layer="M1", width=1)
+        routed = router.realize_strategy(strategy)
+        # A closed loop: every node has exactly two neighbors in the set.
+        nodes = routed.nodes
+        assert nodes
+        for layer, ix, iy in nodes:
+            neighbors = sum(
+                (layer, ix + dx, iy + dy) in nodes
+                for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1))
+            )
+            assert neighbors == 2, (ix, iy)
+
+    def test_ring_width(self, router):
+        thin = router.realize_strategy(
+            GlobalNetStrategy("V1", "power", "ring", layer="M1", width=1)
+        )
+        router2 = GridRouter(generic_two_layer_tech(),
+                             Floorplan("g", Rect(0, 0, 300, 300)), {})
+        wide = router2.realize_strategy(
+            GlobalNetStrategy("V2", "power", "ring", layer="M1", width=2)
+        )
+        assert len(wide.nodes) > len(thin.nodes)
+
+    def test_ring_occupies(self, router):
+        strategy = GlobalNetStrategy("VDD", "power", "ring", layer="M1", width=1)
+        routed = router.realize_strategy(strategy)
+        for node in routed.nodes:
+            assert router.occupancy[node] == "VDD"
+
+
+class TestTrunkAndSpine:
+    def test_trunk_spans_width(self, router):
+        strategy = GlobalNetStrategy("GND", "ground", "trunk", layer="M1", width=2)
+        routed = router.realize_strategy(strategy)
+        columns = {ix for _l, ix, _iy in routed.nodes}
+        assert columns == set(range(router.cols))
+        rows = {iy for _l, _ix, iy in routed.nodes}
+        assert len(rows) == 2
+
+    def test_spine_spans_height(self, router):
+        strategy = GlobalNetStrategy("CLK", "clock", "spine", layer="M2", width=1)
+        routed = router.realize_strategy(strategy)
+        rows = {iy for _l, _ix, iy in routed.nodes}
+        assert rows == set(range(router.rows))
+
+    def test_shielded_spine_gets_shields(self, router):
+        strategy = GlobalNetStrategy("CLK", "clock", "spine", layer="M2",
+                                     width=1, shielded=True)
+        router.realize_strategy(strategy)
+        assert SHIELD in set(router.occupancy.values())
+
+    def test_unknown_layer_rejected(self, router):
+        strategy = GlobalNetStrategy("X", "power", "ring", layer="M9", width=1)
+        with pytest.raises(KeyError):
+            router.realize_strategy(strategy)
+
+
+class TestInteractionWithSignalRouting:
+    def test_signals_detour_around_trunk(self):
+        tech = generic_two_layer_tech()
+        floorplan = Floorplan("g", Rect(0, 0, 300, 300))
+        design = PnRDesign("d")
+        design.add_net("s", [pad_terminal("w"), pad_terminal("e")])
+        pads = {"w": Point(0, 150), "e": Point(295, 150)}
+
+        bare = GridRouter(tech, floorplan, pads)
+        baseline = bare.route_design(design).routed["s"].wirelength_tracks
+
+        router = GridRouter(tech, floorplan, pads)
+        # A horizontal power trunk on M1 sits exactly on the signal's row:
+        # the route must jog around it on M2 and come back.
+        router.realize_strategy(
+            GlobalNetStrategy("VDD", "power", "trunk", layer="M1", width=2)
+        )
+        detoured = router.route_design(design)
+        assert detoured.failed == []
+        routed = detoured.routed["s"]
+        assert routed.wirelength_tracks + routed.vias > baseline
+        # The trunk's nodes were never stolen by the signal.
+        vdd_nodes = {n for n, o in router.occupancy.items() if o == "VDD"}
+        assert not (routed.nodes & vdd_nodes)
+
+    def test_spine_on_wrong_direction_layer_walls_off_die(self):
+        """A vertical spine on the horizontal layer cannot be crossed in a
+        two-layer HV scheme — the router correctly reports failure rather
+        than violating the power structure."""
+        tech = generic_two_layer_tech()
+        floorplan = Floorplan("g", Rect(0, 0, 300, 300))
+        design = PnRDesign("d")
+        design.add_net("s", [pad_terminal("w"), pad_terminal("e")])
+        pads = {"w": Point(0, 150), "e": Point(295, 150)}
+        router = GridRouter(tech, floorplan, pads)
+        router.realize_strategy(
+            GlobalNetStrategy("VDD", "power", "spine", layer="M1", width=2)
+        )
+        result = router.route_design(design)
+        assert result.failed == ["s"]
+
+    def test_shielded_clock_spine_kills_coupling(self):
+        tech = generic_two_layer_tech()
+        floorplan = Floorplan("g", Rect(0, 0, 300, 300))
+        design = PnRDesign("d")
+        design.add_net("v", [pad_terminal("n"), pad_terminal("s")])
+        middle_col = (300 // tech.pitch) // 2
+        x = (middle_col + 2) * tech.pitch  # two tracks from the spine
+        pads = {"n": Point(x, 0), "s": Point(x, 295)}
+
+        def run(shielded):
+            router = GridRouter(tech, floorplan, pads)
+            router.realize_strategy(
+                GlobalNetStrategy("CLK", "clock", "spine", layer="M2",
+                                  width=1, shielded=shielded)
+            )
+            result = router.route_design(design)
+            assert result.failed == []
+            report = extract(tech, result, router.occupancy)
+            return report.coupling_of("v")
+
+        assert run(shielded=True) < run(shielded=False)

@@ -1,0 +1,217 @@
+"""Tests for the a/L Lisp interpreter (paper Section 2, non-standard mapping)."""
+
+import pytest
+
+from cadinterop.common.properties import PropertyBag
+from cadinterop.schematic import al
+from cadinterop.schematic.al import ALError, run, run_callback
+
+
+class Holder:
+    """Minimal host object with a property bag."""
+
+    def __init__(self, **props):
+        self.name = "H1"
+        self.properties = PropertyBag(props)
+
+
+class TestReader:
+    def test_atoms(self):
+        assert al.parse("42") == [42]
+        assert al.parse("-3.5") == [-3.5]
+        assert al.parse('"hi there"') == ["hi there"]
+        assert al.parse("#t #f nil") == [True, False, None]
+
+    def test_nested_lists(self):
+        forms = al.parse("(a (b 1) 2)")
+        assert forms == [[al.Symbol("a"), [al.Symbol("b"), 1], 2]]
+
+    def test_quote_sugar(self):
+        assert al.parse("'x") == [[al.Symbol("quote"), al.Symbol("x")]]
+
+    def test_comments_stripped(self):
+        assert al.parse("; comment\n1 ; trailing\n2") == [1, 2]
+
+    def test_unterminated_list(self):
+        with pytest.raises(ALError):
+            al.parse("(+ 1 2")
+
+    def test_stray_close(self):
+        with pytest.raises(ALError):
+            al.parse(")")
+
+    def test_escaped_string(self):
+        assert al.parse(r'"say \"hi\""') == ['say "hi"']
+
+
+class TestEvaluator:
+    def test_arithmetic(self):
+        assert run("(+ 1 2 3)") == 6
+        assert run("(- 10 3 2)") == 5
+        assert run("(* 2 3 4)") == 24
+        assert run("(/ 10 2)") == 5
+        assert run("(/ 7 2.0)") == 3.5
+        assert run("(mod 7 3)") == 1
+
+    def test_comparison(self):
+        assert run("(< 1 2)") is True
+        assert run("(= 2 2)") is True
+        assert run("(>= 2 3)") is False
+
+    def test_if(self):
+        assert run("(if (< 1 2) 'yes 'no)") == al.Symbol("yes")
+        assert run("(if #f 1)") is None
+
+    def test_cond_with_else(self):
+        assert run("(cond ((= 1 2) 10) (else 20))") == 20
+
+    def test_define_and_lookup(self):
+        assert run("(define x 5) (+ x 1)") == 6
+
+    def test_define_function_sugar(self):
+        assert run("(define (double n) (* 2 n)) (double 21)") == 42
+
+    def test_lambda_closure(self):
+        src = """
+        (define (adder n) (lambda (x) (+ x n)))
+        ((adder 10) 32)
+        """
+        assert run(src) == 42
+
+    def test_let_scoping(self):
+        assert run("(define x 1) (let ((x 10)) (+ x 1))") == 11
+        assert run("(define y 1) (let ((z 10)) z) y") == 1
+
+    def test_set_bang(self):
+        assert run("(define x 1) (set! x 9) x") == 9
+
+    def test_set_undefined_raises(self):
+        with pytest.raises(ALError):
+            run("(set! ghost 1)")
+
+    def test_undefined_variable(self):
+        with pytest.raises(ALError):
+            run("ghost")
+
+    def test_begin_sequencing(self):
+        assert run("(define x 0) (begin (set! x 1) (set! x (+ x 1)) x)") == 2
+
+    def test_and_or_short_circuit(self):
+        assert run("(and 1 2 3)") == 3
+        assert run("(and 1 #f 3)") is False
+        assert run("(or #f nil 7)") == 7
+        assert run("(or #f #f)") is False
+
+    def test_while_loop(self):
+        src = """
+        (define i 0) (define total 0)
+        (while (< i 5) (set! total (+ total i)) (set! i (+ i 1)))
+        total
+        """
+        assert run(src) == 10
+
+    def test_foreach(self):
+        src = """
+        (define total 0)
+        (foreach x (list 1 2 3 4) (set! total (+ total x)))
+        total
+        """
+        assert run(src) == 10
+
+    def test_recursion(self):
+        src = """
+        (define (fact n) (if (<= n 1) 1 (* n (fact (- n 1)))))
+        (fact 6)
+        """
+        assert run(src) == 720
+
+    def test_call_non_procedure(self):
+        with pytest.raises(ALError):
+            run("(1 2 3)")
+
+    def test_wrong_arity(self):
+        with pytest.raises(ALError):
+            run("((lambda (a b) a) 1)")
+
+
+class TestBuiltins:
+    def test_list_ops(self):
+        assert run("(car (list 1 2 3))") == 1
+        assert run("(cdr (list 1 2 3))") == [2, 3]
+        assert run("(cadr (list 1 2 3))") == 2
+        assert run("(cons 0 (list 1))") == [0, 1]
+        assert run("(append (list 1) (list 2 3))") == [1, 2, 3]
+        assert run("(length (list 1 2))") == 2
+        assert run("(reverse (list 1 2 3))") == [3, 2, 1]
+        assert run("(nth 1 (list 4 5 6))") == 5
+
+    def test_car_empty_raises(self):
+        with pytest.raises(ALError):
+            run("(car (list))")
+
+    def test_higher_order(self):
+        assert run("(map (lambda (x) (* x x)) (list 1 2 3))") == [1, 4, 9]
+        assert run("(filter (lambda (x) (> x 1)) (list 0 1 2 3))") == [2, 3]
+
+    def test_string_ops(self):
+        assert run('(split "2u/0.5u" "/")') == ["2u", "0.5u"]
+        assert run('(join (list "a" "b") "-")') == "a-b"
+        assert run('(concat "w=" 2)') == "w=2"
+        assert run('(upcase "abc")') == "ABC"
+        assert run('(substring "hello" 1 3)') == "el"
+        assert run('(replace "a-b" "-" "_")') == "a_b"
+        assert run('(startswith "foo.bar" "foo")') is True
+        assert run('(string->number "42")') == 42
+        assert run('(string->number "4.5")') == 4.5
+
+    def test_string_to_number_error(self):
+        with pytest.raises(ALError):
+            run('(string->number "abc")')
+
+
+class TestDesignAccess:
+    def test_get_set_del(self):
+        target = Holder(wl="2u/0.5u")
+        run_callback(
+            """
+            (set-prop! obj "w" (car (split (get-prop obj "wl") "/")))
+            (set-prop! obj "l" (cadr (split (get-prop obj "wl") "/")))
+            (del-prop! obj "wl")
+            """,
+            target,
+        )
+        assert target.properties.as_dict() == {"w": "2u", "l": "0.5u"}
+
+    def test_provenance_marked(self):
+        target = Holder()
+        run_callback('(set-prop! obj "x" 1)', target)
+        assert target.properties.get_property("x").origin == "a/L"
+
+    def test_rename_and_query(self):
+        target = Holder(old=5)
+        result = run_callback(
+            '(rename-prop! obj "old" "new") (has-prop? obj "new")', target
+        )
+        assert result is True
+        assert target.properties.get("new") == 5
+
+    def test_prop_names_and_object_name(self):
+        target = Holder(a=1, b=2)
+        assert run_callback("(prop-names obj)", target) == ["a", "b"]
+        assert run_callback("(object-name obj)", target) == "H1"
+
+    def test_context_access(self):
+        target = Holder()
+        assert run_callback('(context obj "page")', target, {"page": 3}) == 3
+        assert run_callback('(context obj "missing" "dflt")', target) == "dflt"
+
+    def test_conditional_callback_noop(self):
+        target = Holder(other=1)
+        run_callback(
+            '(if (has-prop? obj "wl") (set-prop! obj "w" 1))', target
+        )
+        assert "w" not in target.properties
+
+    def test_object_without_bag_rejected(self):
+        with pytest.raises(ALError):
+            run_callback("nil", object())

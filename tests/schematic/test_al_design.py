@@ -1,0 +1,133 @@
+"""Tests for design-level a/L callbacks (whole-hierarchy access)."""
+
+import pytest
+
+from cadinterop.common.diagnostics import IssueLog
+from cadinterop.schematic.al import ALError, run_design_callback
+from cadinterop.schematic.migrate import Migrator
+from cadinterop.schematic.propertymap import DesignCallbackRule
+from cadinterop.schematic.samples import (
+    build_sample_plan,
+    build_sample_schematic,
+    build_vl_libraries,
+)
+
+
+@pytest.fixture()
+def sample():
+    return build_sample_schematic(build_vl_libraries())
+
+
+class TestDesignNavigation:
+    def test_design_name_and_pages(self, sample):
+        assert run_design_callback("(design-name design)", sample) == "mixed1"
+        assert run_design_callback("(length (pages design))", sample) == 2
+        assert run_design_callback(
+            "(map page-number (pages design))", sample
+        ) == [1, 2]
+
+    def test_all_instances(self, sample):
+        names = run_design_callback(
+            "(map object-name (all-instances design))", sample
+        )
+        assert set(names) == {"U1", "U2", "U3", "R1", "G1", "M1"}
+
+    def test_page_instances(self, sample):
+        count = run_design_callback(
+            "(length (page-instances (car (pages design))))", sample
+        )
+        assert count == 4  # U1, U2, R1, G1 on page 1
+
+    def test_find_instance(self, sample):
+        assert run_design_callback(
+            '(object-name (find-instance design "M1"))', sample
+        ) == "M1"
+        assert run_design_callback(
+            '(find-instance design "GHOST")', sample
+        ) is None
+
+    def test_instance_symbol_queries(self, sample):
+        assert run_design_callback(
+            '(instance-symbol (find-instance design "R1"))', sample
+        ) == "res"
+        assert run_design_callback(
+            '(instance-library (find-instance design "R1"))', sample
+        ) == "vl_prims"
+
+    def test_wire_labels(self, sample):
+        labels = run_design_callback(
+            "(wire-labels (car (pages design)))", sample
+        )
+        assert "N1" in labels and "A<0:15>" in labels
+
+
+class TestDesignMutation:
+    def test_hierarchy_wide_property_edit(self, sample):
+        """The paper's claim: a user can interact with the entire design
+        hierarchy during migration."""
+        run_design_callback(
+            """
+            (foreach inst (all-instances design)
+              (set-prop! inst "touched" 1))
+            """,
+            sample,
+        )
+        for _page, instance in sample.all_instances():
+            assert instance.properties.get("touched") == 1
+
+    def test_conditional_rename_across_pages(self, sample):
+        run_design_callback(
+            """
+            (foreach inst (all-instances design)
+              (if (has-prop? inst "wl")
+                  (rename-prop! inst "wl" "wl_legacy")))
+            """,
+            sample,
+        )
+        _page, m1 = sample.find_instance("M1")
+        assert "wl_legacy" in m1.properties and "wl" not in m1.properties
+
+    def test_relabel_wires(self, sample):
+        count = run_design_callback(
+            '(relabel-wires! (car (pages design)) "N1" "NET1")', sample
+        )
+        assert count == 1
+        labels = {w.label for _p, w in sample.all_wires() if w.label}
+        assert "NET1" in labels and "N1" not in labels
+
+    def test_count_analog_instances(self, sample):
+        count = run_design_callback(
+            """
+            (length (filter (lambda (i) (has-prop? i "rval"))
+                            (all-instances design)))
+            """,
+            sample,
+        )
+        assert count == 1  # R1
+
+
+class TestDesignCallbackRule:
+    def test_applied_during_migration(self):
+        libraries = build_vl_libraries()
+        cell = build_sample_schematic(libraries)
+        plan = build_sample_plan(source_libraries=libraries)
+        plan.property_rules.add_design_callback(
+            DesignCallbackRule(
+                """
+                (foreach inst (all-instances design)
+                  (set-prop! inst "page_count" (length (pages design))))
+                """,
+                description="stamp page count on every instance",
+            )
+        )
+        result = Migrator(plan).migrate(cell)
+        assert result.clean
+        for _page, instance in result.schematic.all_instances():
+            if instance.symbol.kind == "component":
+                assert instance.properties.get("page_count") == 2
+
+    def test_failing_callback_logged_not_raised(self, sample):
+        rule = DesignCallbackRule("(no-such-builtin)")
+        log = IssueLog()
+        rule.apply_to_design(sample, log)
+        assert log.has_errors()

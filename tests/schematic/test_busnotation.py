@@ -1,0 +1,175 @@
+"""Tests for bus syntax parsing/translation (paper Section 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from cadinterop.common.diagnostics import Category, IssueLog
+from cadinterop.schematic.busnotation import (
+    BusRef,
+    BusSyntaxError,
+    COMPOSER_BUS_SYNTAX,
+    VIEWDRAW_BUS_SYNTAX,
+    declared_buses_of,
+    fold_postfix,
+    translate_net_name,
+)
+
+VL = VIEWDRAW_BUS_SYNTAX
+CD = COMPOSER_BUS_SYNTAX
+
+
+class TestParsing:
+    def test_scalar(self):
+        ref = VL.parse("clk")
+        assert ref.is_scalar and ref.base == "clk" and ref.width == 1
+
+    def test_explicit_bit(self):
+        ref = VL.parse("A<0>")
+        assert ref.indices == (0, 0) and ref.is_single_bit
+
+    def test_range(self):
+        ref = VL.parse("A<15:0>")
+        assert ref.indices == (15, 0) and ref.width == 16
+
+    def test_condensed_requires_declaration(self):
+        """Paper: A0 is bit 0 of bus A<0:15> only when A is a declared bus."""
+        declared = {"A": (0, 15)}
+        assert VL.parse("A0", declared).indices == (0, 0)
+        # Without the declaration A0 is just a scalar named A0.
+        assert VL.parse("A0").is_scalar
+
+    def test_condensed_out_of_range_is_scalar(self):
+        declared = {"A": (0, 15)}
+        assert VL.parse("A99", declared).is_scalar
+
+    def test_composer_never_condenses(self):
+        """Paper: in Cadence, A0 is not equivalent to A<0>."""
+        declared = {"A": (0, 15)}
+        assert CD.parse("A0", declared).is_scalar
+
+    def test_postfix_allowed_in_viewdraw(self):
+        ref = VL.parse("myBus<0:15>-")
+        assert ref.postfix == "-" and ref.indices == (0, 15)
+
+    def test_postfix_rejected_by_composer(self):
+        with pytest.raises(BusSyntaxError):
+            CD.parse("myBus<0:15>-")
+
+    def test_empty_rejected(self):
+        with pytest.raises(BusSyntaxError):
+            VL.parse("  ")
+
+    def test_unterminated_subscript(self):
+        with pytest.raises(BusSyntaxError):
+            VL.parse("A<3")
+
+    def test_nonnumeric_index(self):
+        with pytest.raises(BusSyntaxError):
+            VL.parse("A<x>")
+
+    def test_illegal_base(self):
+        with pytest.raises(BusSyntaxError):
+            VL.parse("9lives")
+
+
+class TestBusRef:
+    def test_bits_descending(self):
+        assert BusRef("A", (3, 0)).bits() == [3, 2, 1, 0]
+
+    def test_bits_ascending(self):
+        assert BusRef("A", (0, 3)).bits() == [0, 1, 2, 3]
+
+    def test_scalar_bits_empty(self):
+        assert BusRef("A").bits() == []
+
+    def test_bit_select(self):
+        assert BusRef("A", (7, 0)).bit(3).indices == (3, 3)
+
+    def test_bit_select_out_of_range(self):
+        with pytest.raises(BusSyntaxError):
+            BusRef("A", (7, 0)).bit(9)
+
+    def test_bit_of_scalar(self):
+        with pytest.raises(BusSyntaxError):
+            BusRef("A").bit(0)
+
+
+class TestFormatting:
+    def test_scalar(self):
+        assert CD.format(BusRef("clk")) == "clk"
+
+    def test_single_bit(self):
+        assert CD.format(BusRef("A", (0, 0))) == "A<0>"
+
+    def test_range(self):
+        assert CD.format(BusRef("A", (15, 0))) == "A<15:0>"
+
+    def test_postfix_render_viewdraw(self):
+        assert VL.format(BusRef("x", None, "-")) == "x-"
+
+    def test_postfix_render_composer_raises(self):
+        with pytest.raises(BusSyntaxError):
+            CD.format(BusRef("x", None, "-"))
+
+
+class TestFoldPostfix:
+    def test_fold_minus(self):
+        folded, suffix = fold_postfix(BusRef("myBus", (0, 15), "-"))
+        assert folded.base == "myBus_n" and folded.postfix == "" and suffix == "_n"
+
+    def test_no_postfix_untouched(self):
+        ref = BusRef("x")
+        assert fold_postfix(ref) == (ref, None)
+
+
+class TestTranslation:
+    def test_condensed_to_explicit(self):
+        declared = {"A": (0, 15)}
+        log = IssueLog()
+        out, rules = translate_net_name("A1", VL, CD, declared, log)
+        assert out == "A<1>"
+        assert any(r.reason.startswith("condensed") for r in rules)
+        assert log.by_category(Category.BUS_SYNTAX)
+
+    def test_postfix_folding_keeps_names_unique(self):
+        out, rules = translate_net_name("myBus<0:15>-", VL, CD)
+        assert out == "myBus_n<0:15>"
+
+    def test_plain_scalar_untouched(self):
+        out, rules = translate_net_name("clk", VL, CD)
+        assert out == "clk" and rules == []
+
+    def test_rules_record_final_target(self):
+        out, rules = translate_net_name("OUT-", VL, CD)
+        assert rules and all(r.target == out for r in rules)
+
+    @given(st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True),
+           st.integers(0, 63), st.integers(0, 63))
+    def test_explicit_refs_roundtrip(self, base, msb, lsb):
+        text = f"{base}<{msb}:{lsb}>" if msb != lsb else f"{base}<{msb}>"
+        out, _ = translate_net_name(text, VL, CD)
+        assert out == text
+
+    def test_same_syntax_identity(self):
+        out, _ = translate_net_name("A<3>", CD, CD)
+        assert out == "A<3>"
+
+
+class TestDeclaredBuses:
+    def test_scan_finds_ranges(self):
+        declared = declared_buses_of(["A<0:15>", "clk", "B<7:0>"], VL)
+        assert declared == {"A": (0, 15), "B": (7, 0)}
+
+    def test_widens_existing_declaration(self):
+        declared = declared_buses_of(["A<0:7>", "A<0:15>"], VL)
+        assert declared["A"] == (0, 15)
+
+    def test_preserves_descending_direction(self):
+        declared = declared_buses_of(["D<7:0>", "D<15:0>"], VL)
+        assert declared["D"] == (15, 0)
+
+    def test_ignores_unparseable(self):
+        assert declared_buses_of(["<<bad>>", "A<1:0>"], VL) == {"A": (1, 0)}
+
+    def test_single_bits_not_declarations(self):
+        assert declared_buses_of(["A<3>"], VL) == {}

@@ -1,0 +1,172 @@
+"""Tests for hierarchy/off-page connector synthesis (paper Section 2)."""
+
+import pytest
+
+from cadinterop.common.diagnostics import IssueLog
+from cadinterop.common.geometry import Point, Rect, Transform
+from cadinterop.schematic.connectors import (
+    build_connector_library,
+    find_floating_ends,
+    insert_hierarchy_connectors,
+    insert_offpage_connectors,
+)
+from cadinterop.schematic.dialects import COMPOSER_LIKE
+from cadinterop.schematic.model import (
+    Instance,
+    LibrarySet,
+    PinDirection,
+    Port,
+    Schematic,
+    Symbol,
+    SymbolPin,
+    Wire,
+)
+from cadinterop.schematic.netlist import extract
+
+
+@pytest.fixture
+def target_libs():
+    return LibrarySet([build_connector_library(COMPOSER_LIKE)])
+
+
+def buf_symbol():
+    return Symbol(
+        library="cd_basic2", name="buf", body=Rect(0, 0, 40, 20),
+        pins=[
+            SymbolPin("IN", Point(0, 10), PinDirection.INPUT),
+            SymbolPin("OUT", Point(40, 10), PinDirection.OUTPUT),
+        ],
+    )
+
+
+class TestConnectorLibrary:
+    def test_symbols_present_with_kinds(self, target_libs):
+        lib = target_libs.library("cd_basic")
+        assert lib.get("offPage").kind == "offpage_connector"
+        assert lib.get("hierIn").kind == "hier_connector"
+        assert lib.get("vdd").kind == "global"
+        assert lib.get("gnd").kind == "global"
+
+    def test_connector_pin_at_origin(self, target_libs):
+        sym = target_libs.library("cd_basic").get("offPage")
+        assert sym.pin("P").position == Point(0, 0)
+
+
+class TestFloatingEnds:
+    def test_detects_free_end(self):
+        cell = Schematic("c", COMPOSER_LIKE.name)
+        page = cell.add_page(Rect(0, 0, 400, 300))
+        page.add_instance(Instance("U1", buf_symbol(), Transform(Point(100, 100))))
+        page.add_wire(Wire([Point(140, 110), Point(200, 110)]))
+        ends = find_floating_ends(page)
+        assert [e.point for e in ends] == [Point(200, 110)]
+
+    def test_wire_into_wire_not_floating(self):
+        cell = Schematic("c", COMPOSER_LIKE.name)
+        page = cell.add_page(Rect(0, 0, 400, 300))
+        page.add_wire(Wire([Point(0, 0), Point(100, 0)]))
+        page.add_wire(Wire([Point(50, 0), Point(50, 50)]))
+        ends = find_floating_ends(page)
+        points = {e.point for e in ends}
+        assert Point(50, 0) not in points
+        assert points == {Point(0, 0), Point(100, 0), Point(50, 50)}
+
+
+class TestOffpageInsertion:
+    def build_cross_page_cell(self):
+        cell = Schematic("c", COMPOSER_LIKE.name)
+        for _ in range(2):
+            page = cell.add_page(Rect(0, 0, 400, 300))
+            page.add_instance(
+                Instance(f"U{page.number}", buf_symbol(), Transform(Point(100, 100)))
+            )
+            page.add_wire(Wire([Point(140, 110), Point(200, 110)], label="link"))
+        return cell
+
+    def test_connectors_join_pages(self, target_libs):
+        cell = self.build_cross_page_cell()
+        log = IssueLog()
+        report = insert_offpage_connectors(cell, COMPOSER_LIKE, target_libs, log)
+        assert report.offpage_added == 2
+        netlist = extract(cell)
+        assert netlist.net("link").terminals >= {("U1", "OUT"), ("U2", "OUT")}
+        assert not netlist.log.has_errors()
+
+    def test_single_page_label_not_touched(self, target_libs):
+        cell = Schematic("c", COMPOSER_LIKE.name)
+        page = cell.add_page(Rect(0, 0, 400, 300))
+        page.add_wire(Wire([Point(0, 0), Point(100, 0)], label="solo"))
+        report = insert_offpage_connectors(cell, COMPOSER_LIKE, target_libs)
+        assert report.offpage_added == 0
+
+    def test_prefers_floating_ends(self, target_libs):
+        cell = self.build_cross_page_cell()
+        report = insert_offpage_connectors(cell, COMPOSER_LIKE, target_libs)
+        assert report.placed_on_floating_end == 2
+        assert report.placed_at_sheet_edge == 0
+
+    def test_sheet_edge_stub_when_no_floating_end(self, target_libs):
+        cell = Schematic("c", COMPOSER_LIKE.name)
+        for _ in range(2):
+            page = cell.add_page(Rect(0, 0, 400, 300))
+            # Wire pinned at both ends: U at each side.
+            page.add_instance(
+                Instance("A" + str(page.number), buf_symbol(), Transform(Point(0, 100)))
+            )
+            page.add_instance(
+                Instance("B" + str(page.number), buf_symbol(), Transform(Point(100, 100)))
+            )
+            page.add_wire(Wire([Point(40, 110), Point(100, 110)], label="x"))
+        report = insert_offpage_connectors(cell, COMPOSER_LIKE, target_libs)
+        assert report.offpage_added == 2
+        assert report.placed_at_sheet_edge + report.placed_direct == 2
+        netlist = extract(cell)
+        assert netlist.net("x").terminals >= {("A1", "OUT"), ("B1", "IN")}
+
+    def test_connector_instances_carry_signal(self, target_libs):
+        cell = self.build_cross_page_cell()
+        insert_offpage_connectors(cell, COMPOSER_LIKE, target_libs)
+        connectors = [
+            inst for _p, inst in cell.all_instances()
+            if inst.symbol.kind == "offpage_connector"
+        ]
+        assert len(connectors) == 2
+        assert all(inst.properties.get("signal") == "link" for inst in connectors)
+
+
+class TestHierarchyInsertion:
+    def build_port_cell(self):
+        cell = Schematic("c", COMPOSER_LIKE.name)
+        cell.add_port(Port("din", PinDirection.INPUT))
+        cell.add_port(Port("dout", PinDirection.OUTPUT))
+        page = cell.add_page(Rect(0, 0, 400, 300))
+        page.add_instance(Instance("U1", buf_symbol(), Transform(Point(100, 100))))
+        page.add_wire(Wire([Point(40, 110), Point(100, 110)], label="din"))
+        page.add_wire(Wire([Point(140, 110), Point(200, 110)], label="dout"))
+        return cell
+
+    def test_connectors_placed_with_direction(self, target_libs):
+        cell = self.build_port_cell()
+        report = insert_hierarchy_connectors(cell, COMPOSER_LIKE, target_libs)
+        assert report.hierarchy_added == 2
+        by_symbol = {
+            inst.symbol.name
+            for _p, inst in cell.all_instances()
+            if inst.symbol.kind == "hier_connector"
+        }
+        assert by_symbol == {"hierIn", "hierOut"}
+
+    def test_missing_net_logged_as_error(self, target_libs):
+        cell = self.build_port_cell()
+        cell.add_port(Port("ghost", PinDirection.INPUT))
+        log = IssueLog()
+        insert_hierarchy_connectors(cell, COMPOSER_LIKE, target_libs, log)
+        assert any("ghost" == issue.subject for issue in log if issue.severity >= 40)
+
+    def test_connectivity_intact_after_insertion(self, target_libs):
+        cell = self.build_port_cell()
+        insert_hierarchy_connectors(cell, COMPOSER_LIKE, target_libs)
+        netlist = extract(cell)
+        assert ("U1", "IN") in netlist.net("din").terminals
+        assert ("U1", "OUT") in netlist.net("dout").terminals
+        assert not netlist.log.has_errors()

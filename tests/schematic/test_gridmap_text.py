@@ -1,0 +1,129 @@
+"""Tests for grid rescaling and cosmetic text adjustment."""
+
+from fractions import Fraction
+
+import pytest
+
+from cadinterop.common.diagnostics import Category, IssueLog, Severity
+from cadinterop.common.geometry import Point, Rect, Transform
+from cadinterop.schematic.dialects import COMPOSER_LIKE, VIEWDRAW_LIKE
+from cadinterop.schematic.gridmap import rescale_schematic, scale_symbol
+from cadinterop.schematic.model import (
+    Instance,
+    PinDirection,
+    Schematic,
+    Symbol,
+    SymbolPin,
+    TextLabel,
+    Wire,
+)
+from cadinterop.schematic.samples import build_sample_schematic, build_vl_libraries
+from cadinterop.schematic.text import adjust_labels, label_obscured_by_wire
+
+
+class TestScaleSymbol:
+    def test_scales_body_and_pins(self):
+        sym = Symbol(
+            library="l", name="x", body=Rect(0, 0, 64, 32),
+            pins=[SymbolPin("A", Point(0, 16), PinDirection.INPUT)],
+        )
+        scaled = scale_symbol(sym, Fraction(5, 8))
+        assert scaled.body == Rect(0, 0, 40, 20)
+        assert scaled.pin("A").position == Point(0, 10)
+        # Original untouched.
+        assert sym.body == Rect(0, 0, 64, 32)
+
+
+class TestRescaleSchematic:
+    def test_sample_scales_exactly(self):
+        libs = build_vl_libraries()
+        cell = build_sample_schematic(libs)
+        log = IssueLog()
+        report = rescale_schematic(cell, VIEWDRAW_LIKE, COMPOSER_LIKE, log)
+        assert report.factor == Fraction(5, 8)
+        assert report.points_snapped == 0
+        assert not log.has_errors()
+        # Spot check: U1 origin 160,160 -> 100,100.
+        _page, u1 = cell.find_instance("U1")
+        assert u1.transform.offset == Point(100, 100)
+
+    def test_off_grid_point_snapped_and_logged(self):
+        cell = Schematic("c", VIEWDRAW_LIKE.name)
+        page = cell.add_page(Rect(0, 0, 160, 160))
+        page.add_wire(Wire([Point(0, 0), Point(7, 0)]))  # 7*5/8 not integer
+        log = IssueLog()
+        report = rescale_schematic(cell, VIEWDRAW_LIKE, COMPOSER_LIKE, log)
+        assert report.points_snapped == 1
+        assert log.by_category(Category.SCALING)
+        assert COMPOSER_LIKE.grid.is_on_grid(page.wires[0].points[1])
+
+    def test_label_positions_scaled(self):
+        cell = Schematic("c", VIEWDRAW_LIKE.name)
+        page = cell.add_page(Rect(0, 0, 160, 160))
+        page.add_label(TextLabel("t", Point(16, 32)))
+        rescale_schematic(cell, VIEWDRAW_LIKE, COMPOSER_LIKE)
+        assert page.labels[0].position == Point(10, 20)
+
+    def test_wire_label_position_scaled(self):
+        cell = Schematic("c", VIEWDRAW_LIKE.name)
+        page = cell.add_page(Rect(0, 0, 160, 160))
+        page.add_wire(Wire([Point(0, 0), Point(16, 0)], label="n",
+                           label_position=Point(16, 16)))
+        rescale_schematic(cell, VIEWDRAW_LIKE, COMPOSER_LIKE)
+        assert page.wires[0].label_position == Point(10, 10)
+
+
+class TestTextCosmetics:
+    def test_e_becomes_f_mechanism(self):
+        """A label whose glyph baseline lands on a wire is visually corrupted."""
+        cell = Schematic("c", COMPOSER_LIKE.name)
+        page = cell.add_page(Rect(0, 0, 400, 300))
+        # Target-dialect baseline offset is 2; an anchor at y=102 puts the
+        # baseline at y=100 where a wire runs.
+        label = TextLabel("E", Point(50, 102), baseline_offset=2)
+        page.add_label(label)
+        page.add_wire(Wire([Point(0, 100), Point(200, 100)]))
+        assert label_obscured_by_wire(label, page)
+
+    def test_adjust_fixes_naive_copy_collision(self):
+        """The paper's bug: anchor copied verbatim drops the glyph onto a
+        wire under the target font's anchor-to-baseline offset; the
+        adjustment rules restore the baseline."""
+        cell = Schematic("c", VIEWDRAW_LIKE.name)
+        page = cell.add_page(Rect(0, 0, 400, 300))
+        # Source (offset 0): baseline at y=102, two units above the wire.
+        page.add_label(TextLabel("E", Point(50, 102),
+                                 height=8, width_per_char=6, baseline_offset=0))
+        page.add_wire(Wire([Point(0, 100), Point(200, 100)]))
+        log = IssueLog()
+        report = adjust_labels(cell, VIEWDRAW_LIKE, COMPOSER_LIKE, log)
+        assert report.labels_adjusted == 1
+        assert report.collisions_avoided == 1
+        label = page.labels[0]
+        assert not label_obscured_by_wire(label, page)
+        assert label.height == COMPOSER_LIKE.font.height
+
+    def test_baseline_invariant(self):
+        """Anchor shifts so the visual baseline stays put."""
+        cell = Schematic("c", VIEWDRAW_LIKE.name)
+        page = cell.add_page(Rect(0, 0, 400, 300))
+        page.add_label(TextLabel("txt", Point(10, 50), baseline_offset=0))
+        adjust_labels(cell, VIEWDRAW_LIKE, COMPOSER_LIKE)
+        label = page.labels[0]
+        assert label.baseline_y == 50
+        assert label.position.y == 50 + COMPOSER_LIKE.font.baseline_offset
+
+    def test_label_off_wire_not_counted_as_collision(self):
+        cell = Schematic("c", VIEWDRAW_LIKE.name)
+        page = cell.add_page(Rect(0, 0, 400, 300))
+        page.add_label(TextLabel("ok", Point(10, 50)))
+        report = adjust_labels(cell, VIEWDRAW_LIKE, COMPOSER_LIKE)
+        assert report.collisions_avoided == 0
+
+    def test_horizontal_overlap_required(self):
+        cell = Schematic("c", COMPOSER_LIKE.name)
+        page = cell.add_page(Rect(0, 0, 400, 300))
+        label = TextLabel("E", Point(300, 102), baseline_offset=2)
+        page.add_label(label)
+        page.add_wire(Wire([Point(0, 100), Point(100, 100)]))
+        assert not label_obscured_by_wire(label, page)

@@ -1,0 +1,148 @@
+"""Round-trip tests for the two vendor file formats."""
+
+import pytest
+
+from cadinterop.schematic import io_cd, io_vl
+from cadinterop.schematic.io_cd import CDFormatError
+from cadinterop.schematic.io_vl import VLFormatError
+from cadinterop.schematic.model import LibrarySet, SchematicError
+from cadinterop.schematic.netlist import extract
+from cadinterop.schematic.samples import (
+    build_sample_schematic,
+    build_vl_libraries,
+)
+
+
+@pytest.fixture
+def vl_libs():
+    return build_vl_libraries()
+
+
+@pytest.fixture
+def sample(vl_libs):
+    return build_sample_schematic(vl_libs)
+
+
+def schematics_equal(a, b):
+    """Structural equality good enough for round-trip checking."""
+    assert a.name == b.name and a.dialect == b.dialect
+    assert [(p.name, p.direction) for p in a.ports] == [
+        (p.name, p.direction) for p in b.ports
+    ]
+    assert a.properties.as_dict() == b.properties.as_dict()
+    assert len(a.pages) == len(b.pages)
+    for page_a, page_b in zip(a.pages, b.pages):
+        assert page_a.frame == page_b.frame
+        assert len(page_a.instances) == len(page_b.instances)
+        for ia, ib in zip(page_a.instances, page_b.instances):
+            assert ia.name == ib.name
+            assert ia.symbol.full_name == ib.symbol.full_name
+            assert ia.transform == ib.transform
+            assert ia.properties.as_dict() == ib.properties.as_dict()
+        assert [(w.label, w.points) for w in page_a.wires] == [
+            (w.label, w.points) for w in page_b.wires
+        ]
+        assert [(l.text, l.position, l.height) for l in page_a.labels] == [
+            (l.text, l.position, l.height) for l in page_b.labels
+        ]
+    # Connectivity-level equality too.
+    assert extract(a).signature() == extract(b).signature()
+
+
+class TestVLRoundTrip:
+    def test_library_roundtrip(self, vl_libs):
+        lib = vl_libs.library("vl_prims")
+        text = io_vl.dump_library(lib)
+        loaded = io_vl.load_library(text)
+        assert len(loaded) == len(lib)
+        nand = loaded.get("nand2")
+        assert nand.pin("A").position == lib.get("nand2").pin("A").position
+        assert nand.kind == "component"
+
+    def test_schematic_roundtrip(self, vl_libs, sample):
+        text = io_vl.dump_schematic(sample)
+        loaded = io_vl.load_schematic(text, vl_libs)
+        schematics_equal(sample, loaded)
+
+    def test_names_with_spaces_and_specials(self, vl_libs, sample):
+        sample.properties.set("note", "two words & <brackets>")
+        text = io_vl.dump_schematic(sample)
+        loaded = io_vl.load_schematic(text, vl_libs)
+        assert loaded.properties.get("note") == "two words & <brackets>"
+
+    def test_typed_properties_roundtrip(self, vl_libs, sample):
+        sample.properties.set("count", 42)
+        sample.properties.set("ratio", 2.5)
+        sample.properties.set("flag", True)
+        loaded = io_vl.load_schematic(io_vl.dump_schematic(sample), vl_libs)
+        assert loaded.properties.get("count") == 42
+        assert loaded.properties.get("ratio") == 2.5
+        assert loaded.properties.get("flag") is True
+
+    def test_comments_and_blanks_ignored(self, vl_libs, sample):
+        text = "# header comment\n\n" + io_vl.dump_schematic(sample)
+        loaded = io_vl.load_schematic(text, vl_libs)
+        assert loaded.name == sample.name
+
+    def test_missing_header(self, vl_libs):
+        with pytest.raises(VLFormatError):
+            io_vl.load_schematic("PAGE 1 0 0 1 1\nEND\n", vl_libs)
+
+    def test_missing_end(self, vl_libs, sample):
+        text = io_vl.dump_schematic(sample).replace("\nEND\n", "\n")
+        with pytest.raises(VLFormatError):
+            io_vl.load_schematic(text, vl_libs)
+
+    def test_unknown_master_rejected(self, sample):
+        text = io_vl.dump_schematic(sample)
+        with pytest.raises(SchematicError):
+            io_vl.load_schematic(text, LibrarySet())
+
+    def test_wire_count_mismatch(self, vl_libs):
+        text = "VLSCHEM 1 c viewdraw-like\nPAGE 1 0 0 10 10\nW - 2 0 0\nENDPAGE\nEND\n"
+        with pytest.raises(VLFormatError):
+            io_vl.load_schematic(text, vl_libs)
+
+
+class TestCDRoundTrip:
+    def test_library_roundtrip(self, vl_libs):
+        lib = vl_libs.library("vl_builtin")
+        text = io_cd.dump_library(lib)
+        loaded = io_cd.load_library(text)
+        assert len(loaded) == len(lib)
+        assert loaded.get("offPage").kind == "offpage_connector"
+
+    def test_schematic_roundtrip(self, vl_libs, sample):
+        text = io_cd.dump_schematic(sample)
+        loaded = io_cd.load_schematic(text, vl_libs)
+        schematics_equal(sample, loaded)
+
+    def test_quoted_strings(self, vl_libs, sample):
+        sample.properties.set("note", 'he said "hi"')
+        loaded = io_cd.load_schematic(io_cd.dump_schematic(sample), vl_libs)
+        assert loaded.properties.get("note") == 'he said "hi"'
+
+    def test_typed_properties_roundtrip(self, vl_libs, sample):
+        sample.properties.set("count", 42)
+        sample.properties.set("flag", False)
+        loaded = io_cd.load_schematic(io_cd.dump_schematic(sample), vl_libs)
+        assert loaded.properties.get("count") == 42
+        assert loaded.properties.get("flag") is False
+
+    def test_wrong_head_rejected(self, vl_libs):
+        with pytest.raises(CDFormatError):
+            io_cd.load_schematic('(library "x")', vl_libs)
+
+    def test_garbage_rejected(self, vl_libs):
+        with pytest.raises(CDFormatError):
+            io_cd.load_schematic("(schematic", vl_libs)
+
+
+class TestCrossFormat:
+    def test_vl_to_cd_preserves_connectivity(self, vl_libs, sample):
+        """A design can travel VL-text -> model -> CD-text -> model intact."""
+        vl_text = io_vl.dump_schematic(sample)
+        via_vl = io_vl.load_schematic(vl_text, vl_libs)
+        cd_text = io_cd.dump_schematic(via_vl)
+        via_cd = io_cd.load_schematic(cd_text, vl_libs)
+        assert extract(sample).signature() == extract(via_cd).signature()

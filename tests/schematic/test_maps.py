@@ -1,0 +1,188 @@
+"""Tests for symbol replacement maps and property mapping rules."""
+
+import pytest
+
+from cadinterop.common.diagnostics import IssueLog, Severity
+from cadinterop.common.geometry import Point, Rect, Transform
+from cadinterop.schematic.model import Instance, Library, LibrarySet, Symbol, SymbolPin
+from cadinterop.schematic.propertymap import (
+    AddRule,
+    CallbackRule,
+    ChangeValueRule,
+    DeleteRule,
+    PropertyRuleSet,
+    RenameRule,
+    Scope,
+)
+from cadinterop.schematic.samples import (
+    SPLIT_WL_CALLBACK,
+    build_cd_libraries,
+    build_symbol_map,
+    build_vl_libraries,
+)
+from cadinterop.schematic.symbolmap import (
+    SymbolKey,
+    SymbolMap,
+    SymbolMapError,
+    SymbolMapping,
+)
+
+
+class TestSymbolMap:
+    def test_lookup(self):
+        sm = build_symbol_map()
+        rule = sm.lookup(SymbolKey("vl_prims", "nand2"))
+        assert rule is not None and rule.target.name == "nand2"
+        assert sm.lookup(SymbolKey("vl_prims", "ghost")) is None
+
+    def test_duplicate_source_rejected(self):
+        sm = build_symbol_map()
+        with pytest.raises(SymbolMapError):
+            sm.add(SymbolMapping(SymbolKey("vl_prims", "nand2"), SymbolKey("x", "y")))
+
+    def test_pin_map_roundtrip(self):
+        rule = build_symbol_map().lookup(SymbolKey("vl_prims", "nand2"))
+        assert rule.map_pin("A") == "IN1"
+        assert rule.unmap_pin("IN1") == "A"
+        assert rule.map_pin("unmapped") == "unmapped"
+
+    def test_validate_clean_sample(self):
+        log = build_symbol_map().validate(build_vl_libraries(), build_cd_libraries())
+        assert not log.has_errors()
+
+    def test_validate_missing_target_symbol(self):
+        sm = SymbolMap()
+        sm.add(SymbolMapping(SymbolKey("vl_prims", "nand2"), SymbolKey("cd_basic", "ghost")))
+        log = sm.validate(build_vl_libraries(), build_cd_libraries())
+        assert log.has_errors()
+        assert any("target symbol not found" in i.message for i in log)
+
+    def test_validate_dangling_source_pin(self):
+        # inv -> nand2 without a pin map: pins A/Y don't exist on nand2 target.
+        sm = SymbolMap()
+        sm.add(SymbolMapping(SymbolKey("vl_prims", "inv"), SymbolKey("cd_basic", "nand2")))
+        log = sm.validate(build_vl_libraries(), build_cd_libraries())
+        assert any("no target pin" in i.message for i in log)
+
+    def test_validate_non_injective_pin_map(self):
+        sm = SymbolMap()
+        sm.add(
+            SymbolMapping(
+                SymbolKey("vl_prims", "nand2"), SymbolKey("cd_basic", "nand2"),
+                pin_map={"A": "IN1", "B": "IN1", "Y": "OUT"},
+            )
+        )
+        log = sm.validate(build_vl_libraries(), build_cd_libraries())
+        assert any("injective" in (i.remedy or "") for i in log)
+
+    def test_coverage_partition(self):
+        sm = build_symbol_map()
+        keys = [SymbolKey("vl_prims", "nand2"), SymbolKey("vl_prims", "ghost")]
+        mapped, unmapped = sm.coverage(keys)
+        assert mapped == [keys[0]] and unmapped == [keys[1]]
+
+
+def make_instance(library="cd_analog", name="mosn", **props):
+    symbol = Symbol(
+        library=library, name=name, body=Rect(0, 0, 20, 40),
+        pins=[SymbolPin("G", Point(0, 20))],
+    )
+    instance = Instance("M1", symbol, Transform(Point(0, 0)))
+    for key, value in props.items():
+        instance.properties.set(key, value)
+    return instance
+
+
+class TestScope:
+    def test_wildcards(self):
+        assert Scope().matches(SymbolKey("any", "thing"))
+        assert Scope(library="cd_*").matches(SymbolKey("cd_analog", "res"))
+        assert not Scope(library="cd_*").matches(SymbolKey("vl_prims", "res"))
+        assert Scope(name="mos?").matches(SymbolKey("l", "mosn"))
+
+
+class TestDeclarativeRules:
+    def test_add_rule(self):
+        inst = make_instance()
+        log = IssueLog()
+        AddRule("vendor", "cd").apply(inst.properties, log, inst.name)
+        assert inst.properties.get("vendor") == "cd"
+        assert len(log) == 1
+
+    def test_delete_rule_silent_when_absent(self):
+        inst = make_instance()
+        log = IssueLog()
+        DeleteRule("ghost").apply(inst.properties, log, inst.name)
+        assert len(log) == 0
+
+    def test_rename_rule(self):
+        inst = make_instance(rval="10k")
+        log = IssueLog()
+        RenameRule("rval", "r").apply(inst.properties, log, inst.name)
+        assert inst.properties.get("r") == "10k"
+
+    def test_change_value_map(self):
+        inst = make_instance(model="NMOS")
+        ChangeValueRule("model", value_map={"NMOS": "nch"}).apply(
+            inst.properties, IssueLog(), inst.name
+        )
+        assert inst.properties.get("model") == "nch"
+
+    def test_change_value_format(self):
+        inst = make_instance(r="10k")
+        ChangeValueRule("r", format_string="res={value}").apply(
+            inst.properties, IssueLog(), inst.name
+        )
+        assert inst.properties.get("r") == "res=10k"
+
+    def test_change_value_absent_noop(self):
+        inst = make_instance()
+        ChangeValueRule("ghost", value_map={"a": "b"}).apply(
+            inst.properties, IssueLog(), inst.name
+        )
+        assert "ghost" not in inst.properties
+
+
+class TestRuleSet:
+    def test_scoped_application(self):
+        rules = PropertyRuleSet()
+        rules.add_rule(AddRule("hit", 1, scope=Scope(name="mosn")))
+        rules.add_rule(AddRule("miss", 1, scope=Scope(name="res")))
+        inst = make_instance()
+        rules.apply_to_instance(inst, SymbolKey("cd_analog", "mosn"), IssueLog())
+        assert "hit" in inst.properties and "miss" not in inst.properties
+
+    def test_callback_splits_wl(self):
+        rules = PropertyRuleSet()
+        rules.add_callback(CallbackRule(SPLIT_WL_CALLBACK, scope=Scope(name="mosn")))
+        inst = make_instance(wl="2u/0.5u")
+        log = IssueLog()
+        rules.apply_to_instance(inst, SymbolKey("cd_analog", "mosn"), log)
+        assert inst.properties.as_dict() == {"w": "2u", "l": "0.5u"}
+
+    def test_callback_error_reported_not_raised(self):
+        rules = PropertyRuleSet()
+        rules.add_callback(CallbackRule("(undefined-fn)", scope=Scope()))
+        inst = make_instance()
+        log = IssueLog()
+        rules.apply_to_instance(inst, SymbolKey("cd_analog", "mosn"), log)
+        assert log.has_errors()
+
+    def test_rules_apply_in_order(self):
+        rules = PropertyRuleSet()
+        rules.add_rule(AddRule("x", "first"))
+        rules.add_rule(ChangeValueRule("x", value_map={"first": "second"}))
+        inst = make_instance()
+        rules.apply_to_instance(inst, SymbolKey("l", "n"), IssueLog())
+        assert inst.properties.get("x") == "second"
+
+    def test_callback_sees_context(self):
+        rules = PropertyRuleSet()
+        rules.add_callback(
+            CallbackRule('(set-prop! obj "on_page" (context obj "page"))')
+        )
+        inst = make_instance()
+        rules.apply_to_instance(
+            inst, SymbolKey("l", "n"), IssueLog(), context={"page": 7}
+        )
+        assert inst.properties.get("on_page") == 7

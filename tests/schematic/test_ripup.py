@@ -1,0 +1,231 @@
+"""Tests for component replacement with minimal rip-up (paper Figure 1)."""
+
+import pytest
+
+from cadinterop.common.geometry import Orientation, Point, Rect, Transform
+from cadinterop.schematic.model import (
+    Instance,
+    PinDirection,
+    Schematic,
+    Symbol,
+    SymbolPin,
+    Wire,
+)
+from cadinterop.schematic.netlist import extract
+from cadinterop.schematic.dialects import VIEWDRAW_LIKE
+from cadinterop.schematic.ripup import (
+    BatchReplacementReport,
+    RipupError,
+    replace_component,
+)
+from cadinterop.schematic.symbolmap import SymbolKey, SymbolMapping
+
+
+def source_symbol():
+    return Symbol(
+        library="src", name="buf", body=Rect(0, 0, 40, 40),
+        pins=[
+            SymbolPin("A", Point(0, 20), PinDirection.INPUT),
+            SymbolPin("Y", Point(40, 20), PinDirection.OUTPUT),
+        ],
+    )
+
+
+def target_symbol(dy=10):
+    """Same cell, pins shifted down by ``dy`` and renamed."""
+    return Symbol(
+        library="tgt", name="buf", body=Rect(0, 0, 40, 40),
+        pins=[
+            SymbolPin("IN", Point(0, 20 - dy), PinDirection.INPUT),
+            SymbolPin("OUT", Point(40, 20 - dy), PinDirection.OUTPUT),
+        ],
+    )
+
+
+def mapping(pin_map=None):
+    return SymbolMapping(
+        source=SymbolKey("src", "buf"),
+        target=SymbolKey("tgt", "buf"),
+        pin_map=pin_map or {"A": "IN", "Y": "OUT"},
+    )
+
+
+def build_page(wire_points_in, wire_points_out):
+    cell = Schematic("c", VIEWDRAW_LIKE.name)
+    page = cell.add_page(Rect(0, 0, 640, 480))
+    page.add_instance(Instance("U1", source_symbol(), Transform(Point(100, 100))))
+    page.add_wire(Wire(wire_points_in, label="in"))
+    page.add_wire(Wire(wire_points_out, label="out"))
+    return cell, page
+
+
+class TestMinimalReplacement:
+    def test_straight_wires_get_one_jog_each(self):
+        # A at (100,120), Y at (140,120); target pins 10 lower.
+        cell, page = build_page(
+            [Point(40, 120), Point(100, 120)],
+            [Point(140, 120), Point(200, 120)],
+        )
+        stats = replace_component(page, "U1", mapping(), target_symbol())
+        assert stats.ripped_segments == 2
+        assert stats.added_segments == 4  # each end needs a jog
+        assert stats.moved_pins == 2
+
+    def test_connectivity_preserved(self):
+        cell, page = build_page(
+            [Point(40, 120), Point(100, 120)],
+            [Point(140, 120), Point(200, 120)],
+        )
+        replace_component(page, "U1", mapping(), target_symbol())
+        netlist = extract(cell)
+        assert netlist.net("in").terminals == {("U1", "IN")}
+        assert netlist.net("out").terminals == {("U1", "OUT")}
+
+    def test_collinear_move_reuses_axis(self):
+        # Vertical wire into A; pin moves along the wire axis: no jog.
+        cell = Schematic("c", VIEWDRAW_LIKE.name)
+        page = cell.add_page(Rect(0, 0, 640, 480))
+        page.add_instance(Instance("U1", source_symbol(), Transform(Point(100, 100))))
+        page.add_wire(Wire([Point(100, 40), Point(100, 120)], label="in"))
+        stats = replace_component(page, "U1", mapping(), target_symbol())
+        # A (100,120) -> IN (100,110): same x as anchor -> endpoint adjusted.
+        wire = page.wires[0]
+        assert wire.points == [Point(100, 40), Point(100, 110)]
+        assert stats.added_segments >= 1
+
+    def test_zero_move_pins_untouched(self):
+        cell, page = build_page(
+            [Point(40, 120), Point(100, 120)],
+            [Point(140, 120), Point(200, 120)],
+        )
+        stats = replace_component(page, "U1", mapping(), target_symbol(dy=0))
+        assert stats.ripped_segments == 0
+        assert stats.unmoved_pins == 2
+        assert stats.similarity == 1.0
+
+    def test_untouched_far_segments_retained(self):
+        cell = Schematic("c", VIEWDRAW_LIKE.name)
+        page = cell.add_page(Rect(0, 0, 640, 480))
+        page.add_instance(Instance("U1", source_symbol(), Transform(Point(100, 100))))
+        # Three-segment wire; only the last segment touches the pin.
+        page.add_wire(Wire(
+            [Point(20, 40), Point(60, 40), Point(60, 120), Point(100, 120)],
+            label="in",
+        ))
+        stats = replace_component(page, "U1", mapping(), target_symbol())
+        assert stats.ripped_segments == 1
+        assert stats.retained_segments == 2
+        assert 0.0 < stats.similarity < 1.0
+
+    def test_replacement_applies_origin_offset_and_rotation(self):
+        cell, page = build_page(
+            [Point(40, 120), Point(100, 120)],
+            [Point(140, 120), Point(200, 120)],
+        )
+        rule = SymbolMapping(
+            source=SymbolKey("src", "buf"),
+            target=SymbolKey("tgt", "buf"),
+            origin_offset=Point(0, 10),
+            pin_map={"A": "IN", "Y": "OUT"},
+        )
+        stats = replace_component(page, "U1", rule, target_symbol())
+        # Offset +10 exactly cancels the dy=10 pin shift: no rips at all.
+        assert stats.ripped_segments == 0
+        instance = page.instance("U1")
+        assert instance.transform.offset == Point(100, 110)
+
+    def test_unknown_target_pin_raises(self):
+        cell, page = build_page(
+            [Point(40, 120), Point(100, 120)],
+            [Point(140, 120), Point(200, 120)],
+        )
+        bad = SymbolMapping(
+            source=SymbolKey("src", "buf"),
+            target=SymbolKey("tgt", "buf"),
+            pin_map={"A": "NOPE", "Y": "OUT"},
+        )
+        with pytest.raises(RipupError):
+            replace_component(page, "U1", bad, target_symbol())
+
+    def test_properties_survive_replacement(self):
+        cell, page = build_page(
+            [Point(40, 120), Point(100, 120)],
+            [Point(140, 120), Point(200, 120)],
+        )
+        page.instance("U1").properties.set("w", "2u")
+        replace_component(page, "U1", mapping(), target_symbol())
+        assert page.instance("U1").properties.get("w") == "2u"
+
+    def test_unknown_strategy_rejected(self):
+        cell, page = build_page(
+            [Point(40, 120), Point(100, 120)],
+            [Point(140, 120), Point(200, 120)],
+        )
+        with pytest.raises(ValueError):
+            replace_component(page, "U1", mapping(), target_symbol(), strategy="magic")
+
+
+class TestNaiveBaseline:
+    def test_naive_rips_everything(self):
+        cell = Schematic("c", VIEWDRAW_LIKE.name)
+        page = cell.add_page(Rect(0, 0, 640, 480))
+        page.add_instance(Instance("U1", source_symbol(), Transform(Point(100, 100))))
+        page.add_wire(Wire(
+            [Point(20, 40), Point(60, 40), Point(60, 120), Point(100, 120)],
+            label="in",
+        ))
+        stats = replace_component(
+            page, "U1", mapping(), target_symbol(), strategy="naive"
+        )
+        assert stats.ripped_segments == 3
+        assert stats.retained_segments == 0
+        assert stats.similarity == 0.0
+
+    def test_naive_still_connects(self):
+        cell = Schematic("c", VIEWDRAW_LIKE.name)
+        page = cell.add_page(Rect(0, 0, 640, 480))
+        page.add_instance(Instance("U1", source_symbol(), Transform(Point(100, 100))))
+        page.add_wire(Wire(
+            [Point(20, 40), Point(60, 40), Point(60, 120), Point(100, 120)],
+            label="in",
+        ))
+        replace_component(page, "U1", mapping(), target_symbol(), strategy="naive")
+        netlist = extract(cell)
+        assert netlist.net("in").terminals == {("U1", "IN")}
+
+    def test_minimal_beats_naive_on_similarity(self):
+        def build():
+            cell = Schematic("c", VIEWDRAW_LIKE.name)
+            page = cell.add_page(Rect(0, 0, 640, 480))
+            page.add_instance(Instance("U1", source_symbol(), Transform(Point(100, 100))))
+            page.add_wire(Wire(
+                [Point(20, 40), Point(60, 40), Point(60, 120), Point(100, 120)],
+                label="in",
+            ))
+            return cell, page
+
+        _, page_min = build()
+        minimal = replace_component(page_min, "U1", mapping(), target_symbol())
+        _, page_naive = build()
+        naive = replace_component(
+            page_naive, "U1", mapping(), target_symbol(), strategy="naive"
+        )
+        assert minimal.ripped_segments < naive.ripped_segments
+        assert minimal.similarity > naive.similarity
+
+
+class TestBatchReport:
+    def test_aggregates(self):
+        report = BatchReplacementReport()
+        cell, page = build_page(
+            [Point(40, 120), Point(100, 120)],
+            [Point(140, 120), Point(200, 120)],
+        )
+        report.add(replace_component(page, "U1", mapping(), target_symbol()))
+        assert report.replacements == 1
+        assert report.total_ripped == 2
+        assert 0.0 <= report.mean_similarity <= 1.0
+
+    def test_empty_report(self):
+        report = BatchReplacementReport()
+        assert report.mean_similarity == 1.0 and report.total_ripped == 0

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from cadinterop.cli import main
+
+RACY = """
+module race (clk);
+  input clk;
+  reg clk, b, d, flag;
+  wire a;
+  assign a = b;
+  always @(posedge clk) if (a != d) flag = 1; else flag = 0;
+  always @(posedge clk) b = d;
+  initial begin d = 1'b1; b = 1'b0; flag = 1'b0; clk = 1'b0; #5 clk = 1'b1; end
+endmodule
+"""
+
+CLEAN_FF = """
+module ff (clk, d, q);
+  input clk, d; output q; reg q;
+  always @(posedge clk) q <= d;
+endmodule
+"""
+
+
+class TestChecklist:
+    def test_default_scenario(self, capsys):
+        assert main(["checklist"]) == 0
+        out = capsys.readouterr().out
+        assert "full-asic" in out and "[ ]" in out
+
+    def test_named_scenario(self, capsys):
+        assert main(["checklist", "--scenario", "netlist-handoff"]) == 0
+        assert "netlist-handoff" in capsys.readouterr().out
+
+    def test_unknown_scenario(self, capsys):
+        assert main(["checklist", "--scenario", "nope"]) == 2
+        assert "available" in capsys.readouterr().err
+
+
+class TestMethodology:
+    def test_stats_printed(self, capsys):
+        assert main(["methodology"]) == 0
+        out = capsys.readouterr().out
+        assert "tasks        200" in out
+        assert "scenario pruning" in out
+
+
+class TestRaces:
+    def test_racy_file_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "race.v"
+        path.write_text(RACY)
+        assert main(["races", str(path), "--observe", "flag", "--until", "100"]) == 1
+        assert "RACE" in capsys.readouterr().out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "ff.v"
+        path.write_text(CLEAN_FF + "\n")
+        # No stimulus: trivially deterministic.
+        assert main(["races", str(path), "--until", "100"]) == 0
+        assert "race-free" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["races", "/nonexistent.v"]) == 2
+
+    def test_parse_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.v"
+        path.write_text("module ???")
+        assert main(["races", str(path)]) == 2
+        assert "parse error" in capsys.readouterr().err
+
+
+class TestSubsets:
+    def test_portable_module(self, tmp_path, capsys):
+        path = tmp_path / "ff.v"
+        path.write_text(CLEAN_FF)
+        assert main(["subsets", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "portable across all vendors: True" in out
+
+    def test_unportable_module(self, tmp_path, capsys):
+        path = tmp_path / "dly.v"
+        path.write_text(
+            "module dly (a, y); input a; output y; assign #5 y = ~a; endmodule"
+        )
+        assert main(["subsets", str(path)]) == 1
+        assert "rejects" in capsys.readouterr().out
+
+
+class TestNaming:
+    def test_clean_names(self, capsys):
+        assert main(["naming", "clk", "rst_n"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations(self, capsys):
+        assert main(["naming", "cntr_reset1", "cntr_reset2", "in"]) == 1
+        out = capsys.readouterr().out
+        assert "alias" in out and "keyword" in out
+
+    def test_max_length_flag(self, capsys):
+        assert main(["naming", "--max-length", "32", "a_rather_long_name"]) == 0

@@ -1,0 +1,113 @@
+"""Tests for the schematic -> P&R bridge (migration output into layout)."""
+
+import pytest
+
+from cadinterop.common.geometry import Point, Rect
+from cadinterop.pnr.floorplan import Floorplan
+from cadinterop.pnr.placement import RowPlacer
+from cadinterop.pnr.routing import GridRouter
+from cadinterop.pnr.samples import build_cell_library
+from cadinterop.pnr.tech import generic_two_layer_tech
+from cadinterop.schematic.migrate import Migrator
+from cadinterop.schematic.samples import (
+    build_sample_plan,
+    build_vl_libraries,
+    generate_chain_schematic,
+)
+from cadinterop.schematic2pnr import (
+    BindingTable,
+    CellBinding,
+    sample_binding_table,
+    schematic_to_pnr,
+)
+
+
+@pytest.fixture(scope="module")
+def migrated_chain():
+    """A chain design migrated into the Composer-like dialect."""
+    libraries = build_vl_libraries()
+    cell = generate_chain_schematic(libraries, pages=2, chains_per_page=2, stages=4)
+    result = Migrator(build_sample_plan(source_libraries=libraries)).migrate(cell)
+    assert result.clean
+    return result.schematic
+
+
+class TestBindingTable:
+    def test_duplicate_binding_rejected(self):
+        table = BindingTable()
+        table.add(CellBinding("l", "s", "c"))
+        with pytest.raises(ValueError):
+            table.add(CellBinding("l", "s", "other"))
+
+    def test_pin_map_defaults_to_identity(self):
+        binding = CellBinding("l", "s", "c", (("A", "X"),))
+        assert binding.map_pin("A") == "X"
+        assert binding.map_pin("B") == "B"
+
+
+class TestConversion:
+    def test_chain_converts_cleanly(self, migrated_chain):
+        conversion = schematic_to_pnr(
+            migrated_chain, sample_binding_table(), build_cell_library()
+        )
+        assert conversion.ok, conversion.log.summary()
+        # All 16 inverters bound; connectors skipped silently.
+        assert len(conversion.design.instances) == 16
+        assert not conversion.skipped_instances
+
+    def test_cross_page_nets_preserved(self, migrated_chain):
+        """Nets joined by off-page connectors arrive as single P&R nets."""
+        conversion = schematic_to_pnr(
+            migrated_chain, sample_binding_table(), build_cell_library()
+        )
+        crossers = [
+            net for net, terminals in conversion.design.nets.items()
+            if len({who for _k, who, _p in terminals}) >= 2 and net.startswith("CH")
+        ]
+        assert crossers  # boundary nets exist and connect both pages' cells
+
+    def test_pin_names_mapped(self, migrated_chain):
+        conversion = schematic_to_pnr(
+            migrated_chain, sample_binding_table(), build_cell_library()
+        )
+        pins = {
+            pin
+            for terminals in conversion.design.nets.values()
+            for kind, _who, pin in terminals
+            if kind == "inst"
+        }
+        # Layout pin names, not schematic pin names.
+        assert pins <= {"A", "Y"}
+        assert "IN" not in pins and "OUT" not in pins
+
+    def test_unbound_symbol_reported(self, migrated_chain):
+        table = BindingTable()  # empty: nothing bindable
+        conversion = schematic_to_pnr(
+            migrated_chain, table, build_cell_library()
+        )
+        assert not conversion.ok
+        assert len(conversion.skipped_instances) == 16
+
+    def test_bad_pin_map_reported(self, migrated_chain):
+        table = BindingTable()
+        table.add(CellBinding("cd_basic", "inv", "inv", (("IN", "NOPE"),)))
+        conversion = schematic_to_pnr(migrated_chain, table, build_cell_library())
+        assert not conversion.ok
+        assert any("NOPE" in issue.message for issue in conversion.log)
+
+
+class TestFullPipeline:
+    def test_migrated_schematic_places_and_routes(self, migrated_chain):
+        """VL schematic -> migration -> CD schematic -> P&R, end to end."""
+        conversion = schematic_to_pnr(
+            migrated_chain, sample_binding_table(), build_cell_library()
+        )
+        assert conversion.ok
+        tech = generic_two_layer_tech()
+        floorplan = Floorplan("chain", Rect(0, 0, 700, 700))
+        design = conversion.design
+        placement = RowPlacer(tech, floorplan, seed=9).place(design, {})
+        assert placement.placed == len(design.instances)
+        router = GridRouter(tech, floorplan, {})
+        routing = router.route_design(design)
+        assert routing.failed == [], routing.failed

@@ -1,0 +1,119 @@
+"""Tests for integration-language standardization (paper Section 3.5)."""
+
+import pytest
+
+from cadinterop.common.diagnostics import IssueLog
+from cadinterop.workflow.glue import (
+    GlueInventory,
+    GlueScript,
+    LanguagePolicy,
+    detect_language,
+    standardization_report,
+)
+
+
+class TestDetection:
+    def test_shebangs(self):
+        assert detect_language("x", "#!/usr/bin/tclsh\nputs hi\n") == "tcl"
+        assert detect_language("x", "#!/usr/bin/perl -w\nprint;\n") == "perl"
+        assert detect_language("x", "#!/bin/sh\nls\n") == "shell"
+        assert detect_language("x", "#!/bin/csh -f\nls\n") == "shell"
+        assert detect_language("x", "#!/usr/bin/env perl\nprint;\n") == "perl"
+
+    def test_extensions(self):
+        assert detect_language("flow.tcl") == "tcl"
+        assert detect_language("netlist.il") == "skill"
+        assert detect_language("run.sh") == "shell"
+        assert detect_language("gen.pl") == "perl"
+
+    def test_shebang_wins_over_extension(self):
+        assert detect_language("script.sh", "#!/usr/bin/tclsh\n") == "tcl"
+
+    def test_skill_comment_heuristic(self):
+        assert detect_language("x", "; SKILL procedure\n(procedure foo ())") == "skill"
+
+    def test_unknown(self):
+        assert detect_language("README", "hello") is None
+
+
+def build_inventory():
+    inventory = GlueInventory()
+    # The frontend group writes perl and shell; backend writes skill; CAD
+    # team writes tcl.
+    inventory.add(GlueScript("run_regress.pl", "frontend", "perl"))
+    inventory.add(GlueScript("nightly.sh", "frontend", "shell"))
+    inventory.add(GlueScript("stream_out.il", "backend", "skill"))
+    inventory.add(GlueScript("fill_notch.il", "backend", "skill"))
+    inventory.add(GlueScript("flow.tcl", "cad", "tcl"))
+    inventory.add(GlueScript("qa.tcl", "cad", "tcl"))
+    return inventory
+
+
+class TestInventory:
+    def test_add_source_detects(self):
+        inventory = GlueInventory()
+        script = inventory.add_source("x.tcl", "cad", "# tcl glue\n")
+        assert script.language == "tcl"
+
+    def test_add_source_undetectable_raises(self):
+        with pytest.raises(ValueError):
+            GlueInventory().add_source("notes.txt", "cad", "hello")
+
+    def test_unknown_language_rejected(self):
+        with pytest.raises(ValueError):
+            GlueScript("x", "g", "cobol")
+
+    def test_group_languages(self):
+        inventory = build_inventory()
+        assert inventory.languages_of("frontend") == {"perl", "shell"}
+        assert inventory.languages_of("backend") == {"skill"}
+
+
+class TestStandardizationReport:
+    def test_fragmentation_measured(self):
+        report = standardization_report(build_inventory())
+        assert report.language_counts == {
+            "perl": 1, "shell": 1, "skill": 2, "tcl": 2,
+        }
+        assert report.groups == 3
+        assert 0.0 < report.fragmentation < 1.0
+
+    def test_foreclosed_reuse(self):
+        """Scripts other groups cannot pick up — the paper's 'sharing and
+        reuse ... will be limited'."""
+        report = standardization_report(build_inventory())
+        # backend (skill-only) cannot reuse perl/shell/tcl scripts: 4 of them.
+        assert report.foreclosed_reuse["backend"] == 4
+        assert report.total_foreclosed > 0
+
+    def test_standardized_company_scores_zero(self):
+        inventory = GlueInventory()
+        for index in range(5):
+            inventory.add(GlueScript(f"s{index}.tcl", "cad", "tcl"))
+        report = standardization_report(inventory)
+        assert report.fragmentation == 0.0
+        assert report.total_foreclosed == 0
+
+    def test_empty_inventory(self):
+        report = standardization_report(GlueInventory())
+        assert report.dominant_language is None
+        assert report.fragmentation == 0.0
+
+
+class TestPolicy:
+    def test_enforcement(self):
+        inventory = build_inventory()
+        policy = LanguagePolicy("tcl", grandfathered=("skill",))
+        log = IssueLog()
+        offenders = policy.violations(inventory, log)
+        assert {s.name for s in offenders} == {"run_regress.pl", "nightly.sh"}
+        assert len(log) == 2
+
+    def test_clean_policy(self):
+        inventory = build_inventory()
+        policy = LanguagePolicy("tcl", grandfathered=("skill", "perl", "shell"))
+        assert policy.violations(inventory) == []
+
+    def test_bad_standard(self):
+        with pytest.raises(ValueError):
+            LanguagePolicy("fortran")

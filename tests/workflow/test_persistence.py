@@ -1,0 +1,122 @@
+"""Tests for workflow state persistence."""
+
+import json
+
+import pytest
+
+from cadinterop.workflow import (
+    FlowTemplate,
+    PythonAction,
+    StepDef,
+    StepState,
+    WorkflowEngine,
+    WorkflowError,
+)
+from cadinterop.workflow.persistence import (
+    instance_to_dict,
+    load_instance,
+    save_instance,
+)
+
+
+def build_template():
+    sub = FlowTemplate("block")
+    sub.add_step(StepDef("synth", action=PythonAction(lambda api: 0)))
+    sub.add_step(StepDef("sim", action=PythonAction(lambda api: 0), start_after=("synth",)))
+
+    top = FlowTemplate("chip")
+    top.add_step(StepDef("plan", action=PythonAction(lambda api: 0)))
+    top.add_step(StepDef("cpu", sub_flow=sub, start_after=("plan",)))
+    top.add_step(StepDef("fail", action=PythonAction(lambda api: 3), start_after=("plan",)))
+    return top
+
+
+@pytest.fixture()
+def run_instance():
+    engine = WorkflowEngine()
+    template = build_template()
+    instance = engine.instantiate(template)
+    engine.run(instance)
+    instance.variables["lvs_clean"] = True
+    return template, instance
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_states(self, run_instance, tmp_path):
+        template, instance = run_instance
+        path = tmp_path / "state.json"
+        save_instance(instance, path)
+        restored = load_instance(path, template)
+        for name in instance.records:
+            original = instance.records[name]
+            loaded = restored.records[name]
+            assert loaded.state is original.state
+            assert loaded.exit_code == original.exit_code
+            assert loaded.runs == original.runs
+        assert restored.variables == instance.variables
+        assert restored.events == instance.events
+
+    def test_children_restored(self, run_instance, tmp_path):
+        template, instance = run_instance
+        path = tmp_path / "state.json"
+        save_instance(instance, path)
+        restored = load_instance(path, template)
+        assert restored.children["cpu"].block == "top.cpu"
+        assert restored.children["cpu"].state_of("sim") is StepState.SUCCEEDED
+
+    def test_resume_after_restore(self, run_instance, tmp_path):
+        """A restored flow can continue: reset the failed step and rerun."""
+        template, instance = run_instance
+        path = tmp_path / "state.json"
+        save_instance(instance, path)
+
+        restored = load_instance(path, template)
+        assert restored.state_of("fail") is StepState.FAILED
+        engine = WorkflowEngine()
+        # Fix the action and rerun just that step.
+        template.step("fail").action = PythonAction(lambda api: 0)
+        engine.reset(restored, "fail")
+        summary = engine.run(restored)
+        assert restored.state_of("fail") is StepState.SUCCEEDED
+        assert summary.ok
+
+
+class TestValidation:
+    def test_wrong_template_rejected(self, run_instance, tmp_path):
+        _template, instance = run_instance
+        path = tmp_path / "state.json"
+        save_instance(instance, path)
+        other = FlowTemplate("other")
+        other.add_step(StepDef("x", action=PythonAction(lambda api: 0)))
+        with pytest.raises(WorkflowError):
+            load_instance(path, other)
+
+    def test_step_drift_rejected(self, run_instance, tmp_path):
+        template, instance = run_instance
+        path = tmp_path / "state.json"
+        data = instance_to_dict(instance)
+        del data["records"]["plan"]
+        path.write_text(json.dumps(data))
+        with pytest.raises(WorkflowError):
+            load_instance(path, template)
+
+    def test_bad_version_rejected(self, run_instance, tmp_path):
+        template, instance = run_instance
+        data = instance_to_dict(instance)
+        data["version"] = 99
+        path = tmp_path / "state.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(WorkflowError):
+            load_instance(path, template)
+
+    def test_corrupt_file_rejected(self, run_instance, tmp_path):
+        template, _instance = run_instance
+        path = tmp_path / "state.json"
+        path.write_text("{not json")
+        with pytest.raises(WorkflowError):
+            load_instance(path, template)
+
+    def test_missing_file_rejected(self, run_instance, tmp_path):
+        template, _instance = run_instance
+        with pytest.raises(WorkflowError):
+            load_instance(tmp_path / "ghost.json", template)

@@ -1,0 +1,174 @@
+"""Tests for data management stores and data-maturity checks."""
+
+import os
+import time
+
+import pytest
+
+from cadinterop.workflow.data import (
+    ContentContains,
+    DataVariable,
+    FileExists,
+    NewerThan,
+    snapshot_file,
+)
+from cadinterop.workflow.stores import (
+    FileStore,
+    MakeLikeChecker,
+    StoreError,
+    VersionedStore,
+)
+
+
+class TestFileStore:
+    def test_put_get(self, tmp_path):
+        store = FileStore(tmp_path / "data")
+        store.put("rtl/top.v", "module top; endmodule")
+        assert store.get("rtl/top.v").startswith("module")
+        assert store.exists("rtl/top.v")
+        assert not store.exists("ghost")
+
+    def test_get_missing(self, tmp_path):
+        with pytest.raises(StoreError):
+            FileStore(tmp_path).get("nope")
+
+
+class TestVersionedStore:
+    def test_revisions_accumulate(self):
+        store = VersionedStore()
+        r1 = store.check_in("top.v", "v1", author="ann")
+        r2 = store.check_in("top.v", "v2", author="ann", comment="fix reset")
+        assert (r1.number, r2.number) == (1, 2)
+        assert store.get("top.v") == "v2"
+        assert store.revision("top.v", 1).content == "v1"
+        assert [r.comment for r in store.history("top.v")] == ["", "fix reset"]
+
+    def test_lock_discipline(self):
+        store = VersionedStore()
+        store.check_in("top.v", "v1", author="ann")
+        store.check_out("top.v", author="ann", lock=True)
+        with pytest.raises(StoreError):
+            store.check_out("top.v", author="bob", lock=True)
+        # Check-in by the lock holder releases the lock.
+        store.check_in("top.v", "v2", author="ann")
+        store.check_out("top.v", author="bob", lock=True)
+        with pytest.raises(StoreError):
+            store.unlock("top.v", "ann")
+        store.unlock("top.v", "bob")
+
+    def test_checkin_while_locked_by_other(self):
+        store = VersionedStore()
+        store.check_in("x", "v1", author="ann")
+        store.check_out("x", author="ann", lock=True)
+        with pytest.raises(StoreError):
+            store.check_in("x", "v2", author="bob")
+
+    def test_shared_protocol(self):
+        store = VersionedStore()
+        store.put("a", "1")
+        assert store.exists("a") and store.get("a") == "1"
+        with pytest.raises(StoreError):
+            store.get("b")
+        with pytest.raises(StoreError):
+            store.revision("a", 9)
+
+
+class TestMakeLike:
+    def build(self, tmp_path):
+        store = FileStore(tmp_path)
+        checker = MakeLikeChecker(store)
+        store.put("top.v", "rtl")
+        store.put("top.gates", "netlist")
+        checker.add_rule("top.gates", ["top.v"])
+        return store, checker
+
+    def test_up_to_date(self, tmp_path):
+        store, checker = self.build(tmp_path)
+        os.utime(store.path_of("top.v"), (1000, 1000))
+        os.utime(store.path_of("top.gates"), (2000, 2000))
+        stale, reason = checker.out_of_date("top.gates")
+        assert not stale and "up to date" in reason
+
+    def test_stale_when_source_newer(self, tmp_path):
+        store, checker = self.build(tmp_path)
+        os.utime(store.path_of("top.v"), (3000, 3000))
+        os.utime(store.path_of("top.gates"), (2000, 2000))
+        stale, reason = checker.out_of_date("top.gates")
+        assert stale and "newer" in reason
+
+    def test_missing_target_is_stale(self, tmp_path):
+        store = FileStore(tmp_path)
+        checker = MakeLikeChecker(store)
+        checker.add_rule("out", [])
+        stale, _reason = checker.out_of_date("out")
+        assert stale
+
+    def test_transitive_staleness(self, tmp_path):
+        store, checker = self.build(tmp_path)
+        store.put("top.gds", "layout")
+        checker.add_rule("top.gds", ["top.gates"])
+        os.utime(store.path_of("top.v"), (5000, 5000))
+        os.utime(store.path_of("top.gates"), (2000, 2000))
+        os.utime(store.path_of("top.gds"), (6000, 6000))
+        stale, reason = checker.out_of_date("top.gds")
+        assert stale  # because top.gates is stale
+
+    def test_duplicate_rule(self, tmp_path):
+        _store, checker = self.build(tmp_path)
+        with pytest.raises(StoreError):
+            checker.add_rule("top.gates", [])
+
+
+class TestSnapshots:
+    def test_snapshot_missing(self, tmp_path):
+        snap = snapshot_file(tmp_path / "ghost")
+        assert not snap.exists
+
+    def test_snapshot_hash_changes_with_content(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_text("one")
+        first = snapshot_file(path)
+        path.write_text("two")
+        second = snapshot_file(path)
+        assert first.content_hash != second.content_hash
+
+    def test_variable_change_detection(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_text("one")
+        variable = DataVariable("v", [path])
+        baseline = variable.observe()
+        assert variable.changed_since(baseline) == []
+        path.write_text("two")
+        assert variable.changed_since(baseline) == [path]
+
+
+class TestMaturityConditions:
+    class FakeInstance:
+        variables = {"state": "done"}
+
+    def test_file_exists(self, tmp_path):
+        path = tmp_path / "f"
+        ok, _ = FileExists(path).check(self.FakeInstance())
+        assert not ok
+        path.write_text("x")
+        ok, _ = FileExists(path).check(self.FakeInstance())
+        assert ok
+
+    def test_newer_than(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.write_text("x")
+        b.write_text("y")
+        os.utime(a, (2000, 2000))
+        os.utime(b, (1000, 1000))
+        ok, _ = NewerThan(a, b).check(self.FakeInstance())
+        assert ok
+        ok, _ = NewerThan(b, a).check(self.FakeInstance())
+        assert not ok
+
+    def test_content_contains(self, tmp_path):
+        log = tmp_path / "log"
+        log.write_text("completed with 0 errors")
+        ok, _ = ContentContains(log, "0 errors").check(self.FakeInstance())
+        assert ok
+        ok, _ = ContentContains(log, "PASS").check(self.FakeInstance())
+        assert not ok
