@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench rows examples checklist all clean
+.PHONY: install test bench rows examples farm checklist all clean
 
 install:
 	pip install -e .
@@ -25,6 +25,11 @@ examples:
 	$(PYTHON) examples/tapeout_workflow.py
 	$(PYTHON) examples/methodology_audit.py
 	$(PYTHON) examples/rtl_to_layout.py
+	$(PYTHON) examples/farm_migration.py
+
+# Corpus migration demo: parallel workers + content-hash cache.
+farm:
+	$(PYTHON) examples/farm_migration.py
 
 checklist:
 	$(PYTHON) -m cadinterop.cli checklist --scenario full-asic

@@ -13,6 +13,12 @@ Subcommands
     Report which synthesis vendors accept the design and why not.
 ``cadinterop naming NAME [NAME ...]``
     Check a naming convention over a list of identifiers.
+``cadinterop migrate-batch [PATH ...] [--generate N] [--jobs N]
+[--cache-dir DIR] [--profile] [--out DIR]``
+    Batch-migrate a corpus of Viewdraw-like schematics (``.vl`` files,
+    directories of them, and/or a generated synthetic corpus) onto the
+    Composer-like libraries through the migration farm: parallel workers,
+    content-hash result caching, per-stage profiling.
 """
 
 from __future__ import annotations
@@ -127,6 +133,77 @@ def _cmd_naming(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_migrate_batch(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from cadinterop.farm import MigrationFarm, ResultCache
+    from cadinterop.schematic import io_cd, io_vl
+    from cadinterop.schematic.samples import (
+        build_sample_plan,
+        build_vl_libraries,
+        generate_chain_schematic,
+    )
+
+    libraries = build_vl_libraries()
+    designs = []
+    for raw in args.paths:
+        path = Path(raw)
+        if path.is_dir():
+            files = sorted(path.glob("*.vl"))
+            if not files:
+                print(f"no .vl schematics in {path}", file=sys.stderr)
+                return 2
+        elif path.is_file():
+            files = [path]
+        else:
+            print(f"no such file or directory: {path}", file=sys.stderr)
+            return 2
+        for file in files:
+            try:
+                designs.append(io_vl.load_schematic(file.read_text(), libraries))
+            except Exception as exc:
+                print(f"cannot load {file}: {exc}", file=sys.stderr)
+                return 2
+    # Synthetic corpus designs (for demos and cache warm-up experiments).
+    shapes = [(1, 2, 3), (2, 2, 4), (1, 3, 5), (2, 4, 4)]
+    for index in range(args.generate):
+        pages, chains, stages = shapes[index % len(shapes)]
+        cell = generate_chain_schematic(
+            libraries, pages=pages, chains_per_page=chains, stages=stages, seed=index
+        )
+        cell.name = f"gen{index:03d}_{cell.name}"
+        designs.append(cell)
+    if not designs:
+        print("nothing to migrate: pass .vl files/directories or --generate N",
+              file=sys.stderr)
+        return 2
+
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    plan = build_sample_plan(source_libraries=libraries)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    farm = MigrationFarm(plan, jobs=args.jobs, cache=cache)
+    report = farm.run(designs)
+
+    if args.profile:
+        print(report.render(per_design=True))
+    else:
+        print(report.summary())
+
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for item in report.items:
+            if item.result is not None:
+                (out_dir / f"{item.design}.cd").write_text(
+                    io_cd.dump_schematic(item.result.schematic)
+                )
+        print(f"wrote {sum(1 for i in report.items if i.result)} translated "
+              f"designs to {out_dir}")
+    return 0 if report.all_clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cadinterop",
@@ -155,6 +232,24 @@ def build_parser() -> argparse.ArgumentParser:
     naming.add_argument("names", nargs="+")
     naming.add_argument("--max-length", type=int, default=8)
     naming.set_defaults(fn=_cmd_naming)
+
+    batch = commands.add_parser(
+        "migrate-batch", help="batch-migrate a schematic corpus through the farm"
+    )
+    batch.add_argument("paths", nargs="*",
+                       help=".vl schematic files or directories of them")
+    batch.add_argument("--generate", type=int, default=0, metavar="N",
+                       help="add N synthetic corpus designs")
+    batch.add_argument("--jobs", type=int, default=1,
+                       help="parallel migration workers (default 1)")
+    batch.add_argument("--cache-dir", default=None,
+                       help="persist migration results here; unchanged designs "
+                            "are served from cache on re-runs")
+    batch.add_argument("--profile", action="store_true",
+                       help="print per-design outcomes and the stage profile")
+    batch.add_argument("--out", default=None, metavar="DIR",
+                       help="write translated .cd files to DIR")
+    batch.set_defaults(fn=_cmd_migrate_batch)
 
     return parser
 

@@ -1,0 +1,141 @@
+"""Content-addressed, on-disk cache of migration results.
+
+A cache entry is keyed on ``sha256(design digest + plan digest +
+PIPELINE_VERSION)``: editing a wire, renaming a net, changing any plan table
+or flag, or bumping the pipeline version all produce a new key, so stale
+results can never be served.  Entries persist across processes and runs —
+re-running a corpus job after touching one design re-migrates only that
+design.
+
+Robustness rules:
+
+* writes are atomic (temp file + ``os.replace``), so a killed run never
+  leaves a half-written entry;
+* *any* failure to load an entry — truncated pickle, garbage bytes, a
+  payload whose recorded key disagrees with its filename — is a **miss**,
+  never an error: the entry is deleted and the migration re-runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from cadinterop.schematic.migrate import (
+    MigrationResult,
+    PIPELINE_VERSION,
+    plan_digest,
+    schematic_digest,
+)
+
+#: Bump to invalidate every on-disk entry regardless of pipeline version
+#: (e.g. when the pickle payload layout changes).
+CACHE_FORMAT = 1
+
+
+def cache_key(design_digest: str, plan_dig: str, pipeline_version: str = PIPELINE_VERSION) -> str:
+    """The content address of one (design, plan, pipeline) migration."""
+    blob = f"{design_digest}\n{plan_dig}\n{pipeline_version}".encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class ResultCache:
+    """On-disk store of :class:`MigrationResult` objects by content key.
+
+    ``hits`` / ``misses`` / ``corrupt`` / ``stores`` count this instance's
+    traffic (the farm copies them into its report).  ``root=None`` keeps the
+    cache in memory only — useful for tests and one-shot runs.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        pipeline_version: str = PIPELINE_VERSION,
+    ) -> None:
+        self.root = Path(root) if root is not None else None
+        self.pipeline_version = pipeline_version
+        self._memory: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.stores = 0
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- keying ----------------------------------------------------------
+
+    def key_for(self, schematic, plan) -> str:
+        return cache_key(
+            schematic_digest(schematic), plan_digest(plan), self.pipeline_version
+        )
+
+    def _path(self, key: str) -> Path:
+        assert self.root is not None
+        return self.root / f"{key}.migr.pkl"
+
+    # -- access ----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[MigrationResult]:
+        """Return the cached result for ``key``, or None (counting a miss)."""
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        if self.root is None:
+            self.misses += 1
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if (
+                not isinstance(payload, dict)
+                or payload.get("key") != key
+                or payload.get("format") != CACHE_FORMAT
+            ):
+                raise ValueError("cache payload does not match its key")
+            result = payload["result"]
+            if not isinstance(result, MigrationResult):
+                raise ValueError("cache payload is not a MigrationResult")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupted / foreign / stale-format entry: drop it, treat as miss.
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        self._memory[key] = result
+        return result
+
+    def put(self, key: str, result: MigrationResult) -> None:
+        """Store a result under ``key`` (atomically when disk-backed)."""
+        self._memory[key] = result
+        self.stores += 1
+        if self.root is None:
+            return
+        payload = {"format": CACHE_FORMAT, "key": key, "result": result}
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if self.root is None:
+            return len(self._memory)
+        return sum(1 for _ in self.root.glob("*.migr.pkl"))

@@ -1,0 +1,72 @@
+"""Per-stage wall-time accounting for batch migration runs.
+
+The migration pipeline emits one :class:`~cadinterop.schematic.migrate.StageSample`
+per stage per design; the profiler aggregates them (plus the farm's own
+bookkeeping stages: digesting, cache lookups, result collection) into a
+stage -> (wall seconds, items touched, calls) table cheap enough to leave
+on for every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from cadinterop.schematic.migrate import StageSample
+
+
+@dataclass
+class StageStats:
+    """Aggregate of every sample recorded for one stage."""
+
+    seconds: float = 0.0
+    items: int = 0
+    calls: int = 0
+
+    def add(self, seconds: float, items: int = 0) -> None:
+        self.seconds += seconds
+        self.items += items
+        self.calls += 1
+
+
+@dataclass
+class StageProfiler:
+    """Accumulates stage samples; mergeable across workers and runs."""
+
+    stages: Dict[str, StageStats] = field(default_factory=dict)
+
+    def record(self, stage: str, seconds: float, items: int = 0) -> None:
+        self.stages.setdefault(stage, StageStats()).add(seconds, items)
+
+    def observe(self, sample: StageSample) -> None:
+        """Adapter matching the pipeline's ``StageObserver`` signature."""
+        self.record(sample.stage, sample.seconds, sample.items)
+
+    def record_samples(self, samples: Iterable[StageSample]) -> None:
+        for sample in samples:
+            self.observe(sample)
+
+    def merge(self, other: "StageProfiler") -> None:
+        for stage, stats in other.stages.items():
+            into = self.stages.setdefault(stage, StageStats())
+            into.seconds += stats.seconds
+            into.items += stats.items
+            into.calls += stats.calls
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stats.seconds for stats in self.stages.values())
+
+    def table(self) -> str:
+        """Human-readable stage table, slowest first."""
+        lines: List[str] = [
+            f"{'stage':14} {'wall ms':>9} {'items':>8} {'calls':>6}  share"
+        ]
+        total = self.total_seconds or 1.0
+        ordered = sorted(self.stages.items(), key=lambda kv: -kv[1].seconds)
+        for stage, stats in ordered:
+            lines.append(
+                f"{stage:14} {stats.seconds * 1e3:9.2f} {stats.items:8d} "
+                f"{stats.calls:6d}  {stats.seconds / total:5.1%}"
+            )
+        return "\n".join(lines)

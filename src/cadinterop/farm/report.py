@@ -1,0 +1,77 @@
+"""Accounting for one batch migration run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from cadinterop.farm.profiler import StageProfiler
+from cadinterop.schematic.migrate import MigrationResult
+
+
+@dataclass
+class FarmItem:
+    """Outcome for one design in the corpus."""
+
+    design: str
+    digest: str
+    status: str  # "migrated" | "cached" | "failed"
+    clean: bool = False
+    seconds: float = 0.0
+    error: Optional[str] = None
+    result: Optional[MigrationResult] = None
+
+    def summary(self) -> str:
+        verdict = "clean" if self.clean else (self.error or "NOT CLEAN")
+        return f"{self.design:24} {self.status:9} {self.seconds * 1e3:8.1f} ms  {verdict}"
+
+
+@dataclass
+class FarmReport:
+    """Everything a batch run measured: outcomes, cache traffic, stage times."""
+
+    jobs: int = 1
+    executor: str = "inline"
+    total: int = 0
+    migrated: int = 0
+    cached: int = 0
+    failed: int = 0
+    wall_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_corrupt: int = 0
+    items: List[FarmItem] = field(default_factory=list)
+    profile: StageProfiler = field(default_factory=StageProfiler)
+
+    @property
+    def clean(self) -> int:
+        return sum(1 for item in self.items if item.clean)
+
+    @property
+    def all_clean(self) -> bool:
+        return self.failed == 0 and all(item.clean for item in self.items)
+
+    def result_for(self, design_name: str) -> Optional[MigrationResult]:
+        for item in self.items:
+            if item.design == design_name:
+                return item.result
+        return None
+
+    def summary(self) -> str:
+        return (
+            f"farm: {self.total} designs in {self.wall_seconds * 1e3:.0f} ms "
+            f"(jobs={self.jobs}, {self.executor}) — "
+            f"{self.migrated} migrated, {self.cached} from cache, "
+            f"{self.failed} failed, {self.clean}/{self.total} clean; "
+            f"cache {self.cache_hits} hits / {self.cache_misses} misses"
+            + (f" ({self.cache_corrupt} corrupt)" if self.cache_corrupt else "")
+        )
+
+    def render(self, per_design: bool = False) -> str:
+        lines = [self.summary()]
+        if per_design:
+            lines.extend("  " + item.summary() for item in self.items)
+        if self.profile.stages:
+            lines.append("")
+            lines.append(self.profile.table())
+        return "\n".join(lines)

@@ -1,0 +1,232 @@
+"""The batch migration farm: fan a corpus out over workers, skip cached work.
+
+The paper's consulting result was corpus-scale — whole schematic libraries
+moved between vendor dialects.  :class:`MigrationFarm` takes a corpus of
+schematic cells plus one :class:`~cadinterop.schematic.migrate.MigrationPlan`
+and:
+
+* serves unchanged designs from a content-addressed
+  :class:`~cadinterop.farm.cache.ResultCache` (keyed on design digest, plan
+  digest, and pipeline version), so re-running after editing one design
+  re-migrates only that design;
+* fans cache misses out across a ``concurrent.futures`` process pool
+  (``jobs > 1``); each worker keeps one long-lived ``Migrator`` so symbol
+  scaling and source-netlist extraction amortize across the designs it
+  handles;
+* aggregates the pipeline's per-stage timings plus its own bookkeeping
+  stages (``farm:digest``, ``farm:cache-lookup``, ``farm:cache-store``)
+  into a :class:`~cadinterop.farm.report.FarmReport`.
+
+A design that fails to migrate is reported (``status="failed"`` with the
+error text) without aborting the rest of the corpus.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+import time
+from typing import List, Optional, Sequence, Tuple, Union
+
+from cadinterop.farm.cache import ResultCache, cache_key
+from cadinterop.farm.profiler import StageProfiler
+from cadinterop.farm.report import FarmItem, FarmReport
+from cadinterop.schematic.migrate import (
+    MigrationPlan,
+    MigrationResult,
+    Migrator,
+    plan_digest,
+    schematic_digest,
+)
+from cadinterop.schematic.model import Schematic
+from cadinterop.schematic.verify import NetlistCache
+
+#: A unit of work shipped to a worker: (corpus index, schematic).
+_Task = Tuple[int, Schematic]
+#: What a worker sends back: (corpus index, result or None, error or None,
+#: seconds spent migrating, measured inside the worker).
+_Outcome = Tuple[int, Optional[MigrationResult], Optional[str], float]
+
+# Per-process worker state for the process-pool executor.  Each worker
+# builds one Migrator at pool start (plan arrives once via the initializer,
+# not once per task) and reuses it for every design it is handed.
+_WORKER_MIGRATOR: Optional[Migrator] = None
+
+
+def _process_worker_init(plan: MigrationPlan) -> None:
+    global _WORKER_MIGRATOR
+    _WORKER_MIGRATOR = Migrator(plan, netlist_cache=NetlistCache())
+
+
+def _process_worker_migrate(task: _Task) -> _Outcome:
+    index, schematic = task
+    assert _WORKER_MIGRATOR is not None, "worker used before initialization"
+    start = time.perf_counter()
+    try:
+        result = _WORKER_MIGRATOR.migrate(schematic)
+        return index, result, None, time.perf_counter() - start
+    except Exception as exc:  # a bad design must not kill the corpus
+        return index, None, f"{type(exc).__name__}: {exc}", time.perf_counter() - start
+
+
+class MigrationFarm:
+    """Runs one :class:`MigrationPlan` over a corpus of schematic cells.
+
+    ``jobs`` is the worker count; ``executor`` is ``"process"``, ``"thread"``,
+    or ``"inline"`` (default: processes when ``jobs > 1``, inline otherwise —
+    thread workers only help when migration cost is dominated by I/O, the
+    pipeline itself is pure Python).
+    """
+
+    def __init__(
+        self,
+        plan: MigrationPlan,
+        jobs: int = 1,
+        cache: Optional[Union[ResultCache, str]] = None,
+        executor: Optional[str] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
+            cache = ResultCache(cache)
+        if executor is None:
+            executor = "process" if jobs > 1 else "inline"
+        if executor not in ("process", "thread", "inline"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self.plan = plan
+        self.jobs = jobs
+        self.cache = cache
+        self.executor = executor
+
+    def run(self, designs: Sequence[Schematic], keep_results: bool = True) -> FarmReport:
+        """Migrate every design, preferring cached results; never raises for
+        a single bad design — inspect ``report.items`` for failures."""
+        started = time.perf_counter()
+        profiler = StageProfiler()
+        report = FarmReport(
+            jobs=self.jobs, executor=self.executor, total=len(designs), profile=profiler
+        )
+        report.items = [
+            FarmItem(design=d.name, digest="", status="failed") for d in designs
+        ]
+
+        # Fold global rules into the symbol map once, up front: migrate()
+        # does this idempotently per call, but doing it here keeps the plan
+        # object stable before it is digested and shipped to workers (and
+        # avoids a duplicate-add race between thread workers).
+        self.plan.global_map.extend_symbol_map(self.plan.symbol_map)
+        plan_d = plan_digest(self.plan)
+
+        pending: List[_Task] = []
+        keys: dict = {}
+        for index, design in enumerate(designs):
+            item = report.items[index]
+            t0 = time.perf_counter()
+            item.digest = schematic_digest(design)
+            profiler.record("farm:digest", time.perf_counter() - t0, 1)
+            if self.cache is not None:
+                keys[index] = cache_key(item.digest, plan_d, self.cache.pipeline_version)
+                t0 = time.perf_counter()
+                hit = self.cache.get(keys[index])
+                elapsed = time.perf_counter() - t0
+                profiler.record("farm:cache-lookup", elapsed, 1)
+                if hit is not None:
+                    item.status = "cached"
+                    item.clean = hit.clean
+                    item.seconds = elapsed
+                    item.result = hit if keep_results else None
+                    report.cached += 1
+                    continue
+            pending.append((index, design))
+
+        for index, result, error, seconds in self._execute(pending):
+            item = report.items[index]
+            item.seconds = seconds
+            if result is None:
+                item.status = "failed"
+                item.error = error or "unknown error"
+                report.failed += 1
+                continue
+            item.status = "migrated"
+            item.clean = result.clean
+            item.result = result if keep_results else None
+            report.migrated += 1
+            profiler.record_samples(result.stages)
+            if self.cache is not None:
+                t0 = time.perf_counter()
+                self.cache.put(keys[index], result)
+                profiler.record("farm:cache-store", time.perf_counter() - t0, 1)
+
+        if self.cache is not None:
+            report.cache_hits = self.cache.hits
+            report.cache_misses = self.cache.misses
+            report.cache_corrupt = self.cache.corrupt
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    # -- executors -------------------------------------------------------
+
+    def _execute(self, tasks: List[_Task]) -> List[_Outcome]:
+        if not tasks:
+            return []
+        if self.executor == "process" and self.jobs > 1:
+            return self._execute_processes(tasks)
+        if self.executor == "thread" and self.jobs > 1:
+            return self._execute_threads(tasks)
+        return self._execute_inline(tasks)
+
+    def _execute_inline(self, tasks: List[_Task]):
+        migrator = Migrator(self.plan, netlist_cache=NetlistCache())
+        outcomes = []
+        for index, design in tasks:
+            t0 = time.perf_counter()
+            try:
+                result, error = migrator.migrate(design), None
+            except Exception as exc:
+                result, error = None, f"{type(exc).__name__}: {exc}"
+            outcomes.append((index, result, error, time.perf_counter() - t0))
+        return outcomes
+
+    def _execute_processes(self, tasks: List[_Task]) -> List[_Outcome]:
+        workers = min(self.jobs, len(tasks))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_process_worker_init,
+            initargs=(self.plan,),
+        ) as pool:
+            chunksize = max(1, len(tasks) // (workers * 4))
+            return list(
+                pool.map(_process_worker_migrate, tasks, chunksize=chunksize)
+            )
+
+    def _execute_threads(self, tasks: List[_Task]):
+        local = threading.local()
+
+        def migrate_one(task: _Task):
+            index, design = task
+            if not hasattr(local, "migrator"):
+                local.migrator = Migrator(self.plan, netlist_cache=NetlistCache())
+            t0 = time.perf_counter()
+            try:
+                result, error = local.migrator.migrate(design), None
+            except Exception as exc:
+                result, error = None, f"{type(exc).__name__}: {exc}"
+            return index, result, error, time.perf_counter() - t0
+
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(self.jobs, len(tasks))
+        ) as pool:
+            return list(pool.map(migrate_one, tasks))
+
+
+def migrate_corpus(
+    plan: MigrationPlan,
+    designs: Sequence[Schematic],
+    jobs: int = 1,
+    cache: Optional[Union[ResultCache, str]] = None,
+    executor: Optional[str] = None,
+    keep_results: bool = True,
+) -> FarmReport:
+    """One-call batch migration: build a farm, run the corpus, return the report."""
+    farm = MigrationFarm(plan, jobs=jobs, cache=cache, executor=executor)
+    return farm.run(designs, keep_results=keep_results)

@@ -17,9 +17,15 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from cadinterop.common.diagnostics import Category, IssueLog, Severity
+
+#: Condensed bit reference grammar (``A0`` == bit 0 of a declared bus ``A``),
+#: compiled once at import: it used to be recompiled inside
+#: ``BusSyntax._parse_condensed``, which runs once per label per migration.
+_CONDENSED_RE = re.compile(r"^([A-Za-z_][A-Za-z_0-9]*?)(\d+)$")
 
 
 class BusSyntaxError(ValueError):
@@ -91,8 +97,17 @@ class BusSyntax:
 
         ``declared_buses`` maps base name -> (msb, lsb) for buses known on
         the sheet; it is required to resolve condensed references.
+
+        Results are memoized per ``(syntax, text, declared table)``: a sheet
+        repeats the same handful of net names many times (and a corpus
+        repeats them across designs), so the parse runs once per distinct
+        label.  :class:`BusRef` is frozen, so sharing the cached object is
+        safe.
         """
-        declared = declared_buses or {}
+        declared_key = tuple(sorted(declared_buses.items())) if declared_buses else ()
+        return _parse_memoized(self, text, declared_key)
+
+    def _parse_impl(self, text: str, declared: Dict[str, Tuple[int, int]]) -> BusRef:
         working = text.strip()
         if not working:
             raise BusSyntaxError("empty net name")
@@ -141,7 +156,7 @@ class BusSyntax:
         self, working: str, declared: Dict[str, Tuple[int, int]]
     ) -> Optional[Tuple[str, int]]:
         """Resolve ``A0`` to (``A``, 0) iff ``A`` is a declared bus covering bit 0."""
-        match = re.match(r"^([A-Za-z_][A-Za-z_0-9]*?)(\d+)$", working)
+        match = _CONDENSED_RE.match(working)
         if not match:
             return None
         base, bit_text = match.group(1), match.group(2)
@@ -167,6 +182,16 @@ class BusSyntax:
             else:
                 text += f"{self.open_bracket}{msb}{self.range_separator}{lsb}{self.close_bracket}"
         return text + ref.postfix
+
+
+@lru_cache(maxsize=16384)
+def _parse_memoized(
+    syntax: BusSyntax, text: str, declared_key: Tuple[Tuple[str, Tuple[int, int]], ...]
+) -> BusRef:
+    """Shared parse cache; keyed on the full declared-bus table so the same
+    text parses differently when a base name is (un)declared.  Failed parses
+    raise and are deliberately not cached (``lru_cache`` drops them)."""
+    return syntax._parse_impl(text, dict(declared_key))
 
 
 @dataclass

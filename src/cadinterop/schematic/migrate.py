@@ -27,8 +27,11 @@ performed them:
 
 from __future__ import annotations
 
+import hashlib
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from cadinterop.common.diagnostics import Category, IssueLog, Severity
 from cadinterop.schematic.busnotation import declared_buses_of, translate_net_name
@@ -54,7 +57,54 @@ from cadinterop.schematic.propertymap import PropertyRuleSet
 from cadinterop.schematic.ripup import BatchReplacementReport, replace_component
 from cadinterop.schematic.symbolmap import SymbolKey, SymbolMap
 from cadinterop.schematic.text import TextAdjustReport, adjust_labels
-from cadinterop.schematic.verify import VerificationResult, verify_migration
+from cadinterop.schematic.verify import NetlistCache, VerificationResult, verify_migration
+
+#: Version tag of the pipeline's *semantics*.  It participates in every
+#: farm cache key, so bump it whenever a stage's behavior changes in a way
+#: that should invalidate previously cached migration results.
+PIPELINE_VERSION = "1"
+
+#: The eight Section 2 stages, in execution order; stage profiles use these
+#: names, and :attr:`MigrationResult.stages` lists them (verification only
+#: when the plan asks for it).
+PIPELINE_STAGES = (
+    "scaling",
+    "replacement",
+    "properties",
+    "globals",
+    "bus-syntax",
+    "connectors",
+    "text",
+    "verification",
+)
+
+
+@dataclass
+class StageSample:
+    """One timed execution of one pipeline stage on one design."""
+
+    stage: str
+    seconds: float = 0.0
+    items: int = 0
+
+
+#: Observer signature for per-stage hooks: called with the finished sample.
+StageObserver = Callable[[StageSample], None]
+
+
+@contextmanager
+def _timed_stage(
+    samples: List[StageSample], observer: Optional[StageObserver], stage: str
+) -> Iterator[StageSample]:
+    sample = StageSample(stage)
+    start = time.perf_counter()
+    try:
+        yield sample
+    finally:
+        sample.seconds = time.perf_counter() - start
+        samples.append(sample)
+        if observer is not None:
+            observer(sample)
 
 
 @dataclass
@@ -104,6 +154,8 @@ class MigrationResult:
     text: TextAdjustReport
     bus_renames: Dict[str, str]
     verification: Optional[VerificationResult] = None
+    #: Wall time and item counts per executed pipeline stage, in order.
+    stages: List[StageSample] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -149,10 +201,23 @@ def copy_schematic(schematic: Schematic) -> Schematic:
 
 
 class Migrator:
-    """Executes a :class:`MigrationPlan` on schematic cells."""
+    """Executes a :class:`MigrationPlan` on schematic cells.
 
-    def __init__(self, plan: MigrationPlan) -> None:
+    ``stage_observer`` is called with a :class:`StageSample` as each pipeline
+    stage finishes (the farm's profiler hooks in here); ``netlist_cache``
+    memoizes source netlist extraction across verifications of the same
+    source object (see :class:`cadinterop.schematic.verify.NetlistCache`).
+    """
+
+    def __init__(
+        self,
+        plan: MigrationPlan,
+        stage_observer: Optional[StageObserver] = None,
+        netlist_cache: Optional[NetlistCache] = None,
+    ) -> None:
         self.plan = plan
+        self.stage_observer = stage_observer
+        self.netlist_cache = netlist_cache
         self._scaled_symbols: Dict[Tuple[str, str, str], Symbol] = {}
 
     def migrate(self, source: Schematic) -> MigrationResult:
@@ -163,121 +228,139 @@ class Migrator:
         log.merge(preflight)
 
         working = copy_schematic(source)
+        samples: List[StageSample] = []
 
         # Fold global rules into the symbol map (idempotent).
         plan.global_map.extend_symbol_map(plan.symbol_map)
 
-        # Step 1: scaling.
-        scaling = rescale_schematic(working, plan.source_dialect, plan.target_dialect, log)
-        factor = scaling.factor
-        # Every instance switches to a scaled master so its pins track the
-        # scaled wires; mapped instances are then swapped for native target
-        # masters in step 2 (rip-up works against the scaled positions).
-        for page in working.pages:
-            for instance in page.instances:
-                mapped = plan.symbol_map.lookup(SymbolKey.of(instance.symbol))
-                instance.symbol = self._scaled_symbol(instance.symbol, factor)
-                if mapped is None:
-                    log.add(
-                        Severity.NOTE, Category.SCALING, instance.name,
-                        f"no replacement mapping for {instance.symbol.full_name}; "
-                        "symbol geometry scaled in place",
-                        remedy="add a symbol map entry to use a native target master",
+        with _timed_stage(samples, self.stage_observer, "scaling") as sample:
+            # Step 1: scaling.
+            scaling = rescale_schematic(working, plan.source_dialect, plan.target_dialect, log)
+            factor = scaling.factor
+            # Every instance switches to a scaled master so its pins track the
+            # scaled wires; mapped instances are then swapped for native target
+            # masters in step 2 (rip-up works against the scaled positions).
+            for page in working.pages:
+                for instance in page.instances:
+                    mapped = plan.symbol_map.lookup(SymbolKey.of(instance.symbol))
+                    instance.symbol = self._scaled_symbol(instance.symbol, factor)
+                    if mapped is None:
+                        log.add(
+                            Severity.NOTE, Category.SCALING, instance.name,
+                            f"no replacement mapping for {instance.symbol.full_name}; "
+                            "symbol geometry scaled in place",
+                            remedy="add a symbol map entry to use a native target master",
+                        )
+            sample.items = scaling.points_scaled
+
+        with _timed_stage(samples, self.stage_observer, "replacement") as sample:
+            # Step 2: component replacement with minimal rip-up.
+            replacements = BatchReplacementReport()
+            for page in working.pages:
+                for instance_name in [i.name for i in page.instances]:
+                    instance = page.instance(instance_name)
+                    mapping = plan.symbol_map.lookup(SymbolKey.of(instance.symbol))
+                    if mapping is None:
+                        continue
+                    target_symbol = plan.target_libraries.resolve(
+                        mapping.target.library, mapping.target.name, mapping.target.view
                     )
+                    stats = replace_component(
+                        page, instance_name, mapping, target_symbol, log,
+                        strategy=plan.replacement_strategy,
+                    )
+                    replacements.add(stats)
+            sample.items = replacements.replacements
 
-        # Step 2: component replacement with minimal rip-up.
-        replacements = BatchReplacementReport()
-        for page in working.pages:
-            for instance_name in [i.name for i in page.instances]:
-                instance = page.instance(instance_name)
-                mapping = plan.symbol_map.lookup(SymbolKey.of(instance.symbol))
-                if mapping is None:
+        with _timed_stage(samples, self.stage_observer, "properties") as sample:
+            # Step 3: property mapping (declarative rules + a/L callbacks).
+            # Design-level callbacks run first: they can see every page.
+            plan.property_rules.apply_to_design(
+                working, log, context={"cell": working.name}
+            )
+            for page in working.pages:
+                for instance in page.instances:
+                    plan.property_rules.apply_to_instance(
+                        instance,
+                        SymbolKey.of(instance.symbol),
+                        log,
+                        context={"page": page.number, "cell": working.name},
+                    )
+                    sample.items += 1
+
+        with _timed_stage(samples, self.stage_observer, "globals") as sample:
+            # Step 4: global net renaming to native conventions.
+            sample.items = rename_global_nets(working, plan.global_map, log)
+
+        with _timed_stage(samples, self.stage_observer, "bus-syntax") as sample:
+            # Step 5: bus syntax translation on all wire labels.
+            bus_renames: Dict[str, str] = {}
+            all_labels = [
+                wire.label for _page, wire in working.all_wires() if wire.label
+            ]
+            declared = declared_buses_of(all_labels, plan.source_dialect.bus_syntax)
+            for _page, wire in working.all_wires():
+                if not wire.label:
                     continue
-                target_symbol = plan.target_libraries.resolve(
-                    mapping.target.library, mapping.target.name, mapping.target.view
-                )
-                stats = replace_component(
-                    page, instance_name, mapping, target_symbol, log,
-                    strategy=plan.replacement_strategy,
-                )
-                replacements.add(stats)
-
-        # Step 3: property mapping (declarative rules + a/L callbacks).
-        # Design-level callbacks run first: they can see every page.
-        plan.property_rules.apply_to_design(
-            working, log, context={"cell": working.name}
-        )
-        for page in working.pages:
-            for instance in page.instances:
-                plan.property_rules.apply_to_instance(
-                    instance,
-                    SymbolKey.of(instance.symbol),
+                sample.items += 1
+                translated, _rules = translate_net_name(
+                    wire.label,
+                    plan.source_dialect.bus_syntax,
+                    plan.target_dialect.bus_syntax,
+                    declared,
                     log,
-                    context={"page": page.number, "cell": working.name},
                 )
+                if translated != wire.label:
+                    bus_renames[wire.label] = translated
+                    wire.label = translated
+            # Port names obey the same grammar and must stay in sync with the
+            # labels of the nets they bind to.
+            for port in working.ports:
+                sample.items += 1
+                translated, _rules = translate_net_name(
+                    port.name,
+                    plan.source_dialect.bus_syntax,
+                    plan.target_dialect.bus_syntax,
+                    declared,
+                    log,
+                )
+                if translated != port.name:
+                    bus_renames[port.name] = translated
+                    port.name = translated
 
-        # Step 4: global net renaming to native conventions.
-        rename_global_nets(working, plan.global_map, log)
+        with _timed_stage(samples, self.stage_observer, "connectors") as sample:
+            # Step 6: connector synthesis where the target dialect demands it.
+            connector_report = ConnectorReport()
+            if (
+                plan.target_dialect.requires_offpage_connectors
+                and plan.source_dialect.implicit_cross_page_by_name
+            ):
+                insert_offpage_connectors(
+                    working, plan.target_dialect, plan.target_libraries, log, connector_report
+                )
+            if plan.target_dialect.requires_hier_connectors and working.ports:
+                insert_hierarchy_connectors(
+                    working, plan.target_dialect, plan.target_libraries, log, connector_report
+                )
+            sample.items = connector_report.offpage_added + connector_report.hierarchy_added
 
-        # Step 5: bus syntax translation on all wire labels.
-        bus_renames: Dict[str, str] = {}
-        all_labels = [
-            wire.label for _page, wire in working.all_wires() if wire.label
-        ]
-        declared = declared_buses_of(all_labels, plan.source_dialect.bus_syntax)
-        for _page, wire in working.all_wires():
-            if not wire.label:
-                continue
-            translated, _rules = translate_net_name(
-                wire.label,
-                plan.source_dialect.bus_syntax,
-                plan.target_dialect.bus_syntax,
-                declared,
-                log,
-            )
-            if translated != wire.label:
-                bus_renames[wire.label] = translated
-                wire.label = translated
-        # Port names obey the same grammar and must stay in sync with the
-        # labels of the nets they bind to.
-        for port in working.ports:
-            translated, _rules = translate_net_name(
-                port.name,
-                plan.source_dialect.bus_syntax,
-                plan.target_dialect.bus_syntax,
-                declared,
-                log,
-            )
-            if translated != port.name:
-                bus_renames[port.name] = translated
-                port.name = translated
-
-        # Step 6: connector synthesis where the target dialect demands it.
-        connector_report = ConnectorReport()
-        if (
-            plan.target_dialect.requires_offpage_connectors
-            and plan.source_dialect.implicit_cross_page_by_name
-        ):
-            insert_offpage_connectors(
-                working, plan.target_dialect, plan.target_libraries, log, connector_report
-            )
-        if plan.target_dialect.requires_hier_connectors and working.ports:
-            insert_hierarchy_connectors(
-                working, plan.target_dialect, plan.target_libraries, log, connector_report
-            )
-
-        # Step 7: cosmetic text adjustment.
-        text_report = adjust_labels(working, plan.source_dialect, plan.target_dialect, log)
+        with _timed_stage(samples, self.stage_observer, "text") as sample:
+            # Step 7: cosmetic text adjustment.
+            text_report = adjust_labels(working, plan.source_dialect, plan.target_dialect, log)
+            sample.items = text_report.labels_adjusted
 
         working.dialect = plan.target_dialect.name
 
         # Step 8: independent verification.
         verification: Optional[VerificationResult] = None
         if plan.verify:
-            verification = verify_migration(
-                source, working, plan.symbol_map, plan.global_map
-            )
-            log.merge(verification.log)
+            with _timed_stage(samples, self.stage_observer, "verification") as sample:
+                verification = verify_migration(
+                    source, working, plan.symbol_map, plan.global_map,
+                    netlist_cache=self.netlist_cache,
+                )
+                log.merge(verification.log)
+                sample.items = verification.source_nets
 
         return MigrationResult(
             schematic=working,
@@ -288,6 +371,7 @@ class Migrator:
             text=text_report,
             bus_renames=bus_renames,
             verification=verification,
+            stages=samples,
         )
 
     def _scaled_symbol(self, symbol: Symbol, factor) -> Symbol:
@@ -295,3 +379,149 @@ class Migrator:
         if key not in self._scaled_symbols:
             self._scaled_symbols[key] = scale_symbol(symbol, factor)
         return self._scaled_symbols[key]
+
+
+# ---------------------------------------------------------------------------
+# Deterministic content digests
+#
+# The farm's result cache is keyed on (schematic digest, plan digest,
+# PIPELINE_VERSION): any content edit to a design or any change to a plan
+# table must, and does, produce a different key.  The canonical forms below
+# are plain nested tuples of primitives hashed through SHA-256 — no id()s,
+# no dict-ordering surprises (order-free tables are sorted; drawing order is
+# kept, since reordering a file is an edit worth re-migrating).
+# ---------------------------------------------------------------------------
+
+
+def _canon_properties(bag) -> Tuple:
+    return tuple((prop.name, prop.value, prop.visible) for prop in bag)
+
+
+def _canon_symbol(symbol: Symbol) -> Tuple:
+    return (
+        symbol.library,
+        symbol.name,
+        symbol.view,
+        symbol.kind,
+        (symbol.body.x1, symbol.body.y1, symbol.body.x2, symbol.body.y2),
+        tuple(
+            (pin.name, pin.position.x, pin.position.y, pin.direction)
+            for pin in symbol.pins
+        ),
+        _canon_properties(symbol.properties),
+    )
+
+
+def _canon_schematic(schematic: Schematic) -> Tuple:
+    pages = []
+    for page in schematic.pages:
+        pages.append(
+            (
+                page.number,
+                (page.frame.x1, page.frame.y1, page.frame.x2, page.frame.y2),
+                tuple(
+                    (
+                        instance.name,
+                        _canon_symbol(instance.symbol),
+                        (
+                            instance.transform.offset.x,
+                            instance.transform.offset.y,
+                            instance.transform.orientation.value,
+                        ),
+                        _canon_properties(instance.properties),
+                    )
+                    for instance in page.instances
+                ),
+                tuple(
+                    (
+                        tuple((p.x, p.y) for p in wire.points),
+                        wire.label,
+                        (wire.label_position.x, wire.label_position.y)
+                        if wire.label_position
+                        else None,
+                    )
+                    for wire in page.wires
+                ),
+                tuple(
+                    (
+                        label.text,
+                        (label.position.x, label.position.y),
+                        label.height,
+                        label.width_per_char,
+                        label.baseline_offset,
+                    )
+                    for label in page.labels
+                ),
+            )
+        )
+    return (
+        schematic.name,
+        schematic.dialect,
+        tuple((port.name, port.direction) for port in schematic.ports),
+        _canon_properties(schematic.properties),
+        tuple(pages),
+    )
+
+
+def _canon_libraries(libraries: LibrarySet) -> Tuple:
+    return tuple(
+        (
+            library.name,
+            tuple(
+                _canon_symbol(symbol)
+                for symbol in sorted(
+                    library.symbols(), key=lambda s: (s.name, s.view)
+                )
+            ),
+        )
+        for library in sorted(libraries.libraries(), key=lambda l: l.name)
+    )
+
+
+def _canon_symbol_mapping(mapping) -> Tuple:
+    return (
+        str(mapping.source),
+        str(mapping.target),
+        (mapping.origin_offset.x, mapping.origin_offset.y),
+        mapping.rotation.value,
+        tuple(sorted(mapping.pin_map.items())),
+    )
+
+
+def _canon_plan(plan: MigrationPlan) -> Tuple:
+    # Digest the *effective* symbol map: migrate() idempotently folds global
+    # rules into plan.symbol_map, so hashing the folded form keeps the plan
+    # digest stable whether or not a migration has already run.
+    effective = {
+        str(mapping.source): _canon_symbol_mapping(mapping)
+        for mapping in plan.symbol_map
+    }
+    for mapping in plan.global_map.as_symbol_mappings():
+        effective.setdefault(str(mapping.source), _canon_symbol_mapping(mapping))
+    return (
+        repr(plan.source_dialect),
+        repr(plan.target_dialect),
+        _canon_libraries(plan.source_libraries),
+        _canon_libraries(plan.target_libraries),
+        tuple(value for _key, value in sorted(effective.items())),
+        tuple(repr(rule) for rule in plan.property_rules.rules),
+        tuple(repr(callback) for callback in plan.property_rules.callbacks),
+        tuple(repr(callback) for callback in plan.property_rules.design_callbacks),
+        tuple(repr(rule) for rule in plan.global_map.rules),
+        plan.verify,
+        plan.replacement_strategy,
+    )
+
+
+def _sha256(canon: Tuple) -> str:
+    return hashlib.sha256(repr(canon).encode("utf-8")).hexdigest()
+
+
+def schematic_digest(schematic: Schematic) -> str:
+    """Content hash of one schematic cell: any edit changes it."""
+    return _sha256(_canon_schematic(schematic))
+
+
+def plan_digest(plan: MigrationPlan) -> str:
+    """Content hash of a migration plan: any table or flag change changes it."""
+    return _sha256(_canon_plan(plan))

@@ -1,0 +1,159 @@
+"""Result cache correctness: hits equal cold runs, edits invalidate,
+corruption is a miss — never an error."""
+
+import pickle
+
+import pytest
+
+from cadinterop.common.geometry import Point
+from cadinterop.farm import MigrationFarm, ResultCache, cache_key
+from cadinterop.schematic import io_cd
+from cadinterop.schematic.migrate import PIPELINE_VERSION
+from cadinterop.schematic.model import TextLabel, Wire
+from cadinterop.schematic.samples import (
+    build_sample_plan,
+    build_sample_schematic,
+    build_vl_libraries,
+)
+
+
+@pytest.fixture(scope="module")
+def vl_libs():
+    return build_vl_libraries()
+
+
+@pytest.fixture()
+def plan(vl_libs):
+    return build_sample_plan(source_libraries=vl_libs)
+
+
+@pytest.fixture()
+def sample(vl_libs):
+    return build_sample_schematic(vl_libs)
+
+
+def run_once(plan, designs, cache):
+    return MigrationFarm(plan, jobs=1, cache=cache).run(designs)
+
+
+class TestWarmHitEqualsColdRun:
+    def test_cached_result_equals_fresh_result(self, tmp_path, plan, sample):
+        cold = run_once(plan, [sample], ResultCache(tmp_path))
+        assert cold.migrated == 1 and cold.cached == 0
+
+        # New cache instance over the same directory: persistence, not memory.
+        warm = run_once(plan, [sample], ResultCache(tmp_path))
+        assert warm.migrated == 0 and warm.cached == 1
+        assert warm.cache_hits == 1 and warm.cache_misses == 0
+
+        fresh, cached = cold.items[0].result, warm.items[0].result
+        assert cached.clean == fresh.clean
+        assert cached.bus_renames == fresh.bus_renames
+        assert cached.replacements.replacements == fresh.replacements.replacements
+        assert cached.verification.equivalent == fresh.verification.equivalent
+        assert io_cd.dump_schematic(cached.schematic) == io_cd.dump_schematic(
+            fresh.schematic
+        )
+
+    def test_hit_and_miss_counters_populated(self, tmp_path, plan, sample):
+        cache = ResultCache(tmp_path)
+        report = run_once(plan, [sample], cache)
+        assert report.cache_misses == 1 and report.cache_hits == 0
+        report = run_once(plan, [sample], cache)
+        assert report.cache_hits == 1
+
+
+class TestInvalidation:
+    def test_editing_a_wire_invalidates(self, tmp_path, plan, sample):
+        run_once(plan, [sample], ResultCache(tmp_path))
+        sample.pages[0].add_wire(Wire([Point(448, 192), Point(448, 224)]))
+        report = run_once(plan, [sample], ResultCache(tmp_path))
+        assert report.migrated == 1 and report.cached == 0
+
+    def test_renaming_a_net_invalidates(self, tmp_path, plan, sample):
+        run_once(plan, [sample], ResultCache(tmp_path))
+        sample.pages[0].wires[3].label = "N1X"
+        report = run_once(plan, [sample], ResultCache(tmp_path))
+        assert report.migrated == 1 and report.cached == 0
+
+    def test_cosmetic_label_invalidates(self, tmp_path, plan, sample):
+        run_once(plan, [sample], ResultCache(tmp_path))
+        sample.pages[1].add_label(TextLabel("rev B", Point(8, 8)))
+        report = run_once(plan, [sample], ResultCache(tmp_path))
+        assert report.migrated == 1 and report.cached == 0
+
+    def test_replacement_strategy_change_invalidates(self, tmp_path, plan, sample):
+        run_once(plan, [sample], ResultCache(tmp_path))
+        plan.replacement_strategy = "naive"
+        report = run_once(plan, [sample], ResultCache(tmp_path))
+        assert report.migrated == 1 and report.cached == 0
+
+    def test_verify_flag_change_invalidates(self, tmp_path, plan, sample):
+        run_once(plan, [sample], ResultCache(tmp_path))
+        plan.verify = False
+        report = run_once(plan, [sample], ResultCache(tmp_path))
+        assert report.migrated == 1 and report.cached == 0
+
+    def test_pipeline_version_participates(self, tmp_path, plan, sample):
+        run_once(plan, [sample], ResultCache(tmp_path))
+        bumped = ResultCache(tmp_path, pipeline_version=PIPELINE_VERSION + "-next")
+        report = run_once(plan, [sample], bumped)
+        assert report.migrated == 1 and report.cached == 0
+
+    def test_unrelated_design_untouched_entries_survive(self, tmp_path, plan, vl_libs):
+        first = build_sample_schematic(vl_libs)
+        second = build_sample_schematic(vl_libs)
+        second.name = "mixed2"
+        run_once(plan, [first, second], ResultCache(tmp_path))
+        second.pages[0].add_label(TextLabel("touched", Point(8, 8)))
+        report = run_once(plan, [first, second], ResultCache(tmp_path))
+        assert report.cached == 1 and report.migrated == 1
+        migrated = [item.design for item in report.items if item.status == "migrated"]
+        assert migrated == ["mixed2"]
+
+
+class TestCorruption:
+    def entries(self, tmp_path):
+        return sorted(tmp_path.glob("*.migr.pkl"))
+
+    def test_truncated_entry_is_a_miss(self, tmp_path, plan, sample):
+        run_once(plan, [sample], ResultCache(tmp_path))
+        (entry,) = self.entries(tmp_path)
+        entry.write_bytes(entry.read_bytes()[:16])
+        cache = ResultCache(tmp_path)
+        report = run_once(plan, [sample], cache)
+        assert report.migrated == 1 and report.cached == 0
+        assert cache.corrupt == 1
+
+    def test_garbage_bytes_are_a_miss(self, tmp_path, plan, sample):
+        run_once(plan, [sample], ResultCache(tmp_path))
+        (entry,) = self.entries(tmp_path)
+        entry.write_bytes(b"this is not a pickle")
+        report = run_once(plan, [sample], ResultCache(tmp_path))
+        assert report.migrated == 1 and report.cached == 0
+        # The corrupted entry was replaced with a good one.
+        report = run_once(plan, [sample], ResultCache(tmp_path))
+        assert report.cached == 1
+
+    def test_wrong_payload_type_is_a_miss(self, tmp_path, plan, sample):
+        run_once(plan, [sample], ResultCache(tmp_path))
+        (entry,) = self.entries(tmp_path)
+        entry.write_bytes(pickle.dumps({"format": 1, "key": "bogus", "result": 42}))
+        report = run_once(plan, [sample], ResultCache(tmp_path))
+        assert report.migrated == 1 and report.cached == 0
+
+    def test_corrupt_entry_never_raises(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("d" * 64, "p" * 64)
+        (tmp_path / f"{key}.migr.pkl").write_bytes(b"\x80garbage")
+        assert cache.get(key) is None
+        assert cache.misses == 1 and cache.corrupt == 1
+
+
+class TestMemoryOnlyCache:
+    def test_memory_cache_round_trip(self, plan, sample):
+        cache = ResultCache(None)
+        report = run_once(plan, [sample], cache)
+        assert report.migrated == 1
+        report = run_once(plan, [sample], cache)
+        assert report.cached == 1

@@ -1,0 +1,112 @@
+"""Deterministic content digests for schematics and migration plans."""
+
+import pytest
+
+from cadinterop.common.geometry import Point, Transform
+from cadinterop.schematic.globals_ import GlobalMap
+from cadinterop.schematic.migrate import (
+    Migrator,
+    plan_digest,
+    schematic_digest,
+)
+from cadinterop.schematic.model import TextLabel, Wire
+from cadinterop.schematic.propertymap import AddRule
+from cadinterop.schematic.samples import (
+    build_sample_plan,
+    build_sample_schematic,
+    build_vl_libraries,
+)
+
+
+@pytest.fixture(scope="module")
+def vl_libs():
+    return build_vl_libraries()
+
+
+@pytest.fixture()
+def sample(vl_libs):
+    return build_sample_schematic(vl_libs)
+
+
+@pytest.fixture()
+def plan(vl_libs):
+    return build_sample_plan(source_libraries=vl_libs)
+
+
+class TestSchematicDigest:
+    def test_deterministic_across_independent_builds(self, sample):
+        other = build_sample_schematic(build_vl_libraries())
+        assert schematic_digest(sample) == schematic_digest(other)
+
+    def test_hex_sha256_shape(self, sample):
+        digest = schematic_digest(sample)
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+    def test_editing_a_wire_changes_digest(self, sample):
+        before = schematic_digest(sample)
+        sample.pages[0].add_wire(Wire([Point(0, 0), Point(32, 0)]))
+        assert schematic_digest(sample) != before
+
+    def test_moving_a_wire_point_changes_digest(self, sample):
+        before = schematic_digest(sample)
+        wire = sample.pages[0].wires[0]
+        wire.points[0] = Point(wire.points[0].x - 16, wire.points[0].y)
+        assert schematic_digest(sample) != before
+
+    def test_renaming_a_net_changes_digest(self, sample):
+        before = schematic_digest(sample)
+        sample.pages[0].wires[3].label = "N1_renamed"
+        assert schematic_digest(sample) != before
+
+    def test_property_edit_changes_digest(self, sample):
+        before = schematic_digest(sample)
+        sample.pages[0].instance("R1").properties.set("rval", "22k")
+        assert schematic_digest(sample) != before
+
+    def test_cosmetic_label_changes_digest(self, sample):
+        before = schematic_digest(sample)
+        sample.pages[0].add_label(TextLabel("rev B", Point(8, 8)))
+        assert schematic_digest(sample) != before
+
+    def test_rename_cell_changes_digest(self, sample):
+        before = schematic_digest(sample)
+        sample.name = "mixed1_copy"
+        assert schematic_digest(sample) != before
+
+    def test_instance_move_changes_digest(self, sample):
+        before = schematic_digest(sample)
+        instance = sample.pages[0].instance("U1")
+        instance.transform = Transform(Point(176, 160))
+        assert schematic_digest(sample) != before
+
+
+class TestPlanDigest:
+    def test_deterministic_across_independent_builds(self, plan):
+        other = build_sample_plan(source_libraries=build_vl_libraries())
+        assert plan_digest(plan) == plan_digest(other)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda plan: setattr(plan, "replacement_strategy", "naive"),
+            lambda plan: setattr(plan, "verify", False),
+            lambda plan: plan.property_rules.add_rule(AddRule("touched", "yes")),
+            lambda plan: setattr(plan, "global_map", GlobalMap()),
+            lambda plan: plan.symbol_map._by_source.clear(),
+        ],
+        ids=["replacement_strategy", "verify", "property_rule", "global_map", "symbol_map"],
+    )
+    def test_every_plan_field_participates(self, plan, mutate):
+        before = plan_digest(plan)
+        mutate(plan)
+        assert plan_digest(plan) != before
+
+    def test_stable_across_migrations(self, vl_libs, plan, sample):
+        """migrate() folds global rules into the symbol map in place; the
+        digest must hash the effective plan so runs before/after agree."""
+        before = plan_digest(plan)
+        Migrator(plan).migrate(sample)
+        assert plan_digest(plan) == before
+        Migrator(plan).migrate(sample)
+        assert plan_digest(plan) == before

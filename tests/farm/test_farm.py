@@ -1,0 +1,177 @@
+"""Farm orchestration: executors, failure isolation, report accounting."""
+
+import pytest
+
+from cadinterop.farm import (
+    MigrationFarm,
+    PIPELINE_STAGES,
+    ResultCache,
+    migrate_corpus,
+)
+from cadinterop.schematic.samples import (
+    build_sample_plan,
+    build_vl_libraries,
+    generate_chain_schematic,
+)
+from cadinterop.schematic.verify import NetlistCache
+
+
+@pytest.fixture(scope="module")
+def vl_libs():
+    return build_vl_libraries()
+
+
+@pytest.fixture()
+def plan(vl_libs):
+    return build_sample_plan(source_libraries=vl_libs)
+
+
+def build_corpus(vl_libs, count=4):
+    shapes = [(1, 2, 3), (2, 2, 4), (1, 3, 4), (2, 3, 3)]
+    corpus = []
+    for index in range(count):
+        pages, chains, stages = shapes[index % len(shapes)]
+        cell = generate_chain_schematic(
+            vl_libs, pages=pages, chains_per_page=chains, stages=stages, seed=index
+        )
+        cell.name = f"unit{index:02d}"
+        corpus.append(cell)
+    return corpus
+
+
+class TestFarmRun:
+    def test_inline_run_migrates_everything(self, vl_libs, plan):
+        corpus = build_corpus(vl_libs)
+        report = MigrationFarm(plan).run(corpus)
+        assert report.total == len(corpus)
+        assert report.migrated == len(corpus)
+        assert report.cached == report.failed == 0
+        assert report.all_clean
+        assert [item.design for item in report.items] == [c.name for c in corpus]
+        assert all(item.result is not None for item in report.items)
+        assert all(len(item.digest) == 64 for item in report.items)
+        assert report.wall_seconds > 0
+
+    def test_stage_profile_is_populated(self, vl_libs, plan, tmp_path):
+        corpus = build_corpus(vl_libs)
+        report = MigrationFarm(plan, cache=ResultCache(tmp_path)).run(corpus)
+        # Acceptance: stage timings and hit/miss counters are non-empty.
+        assert report.profile.stages
+        for stage in PIPELINE_STAGES:
+            stats = report.profile.stages[stage]
+            assert stats.calls == len(corpus)
+            assert stats.seconds > 0
+        for bookkeeping in ("farm:digest", "farm:cache-lookup", "farm:cache-store"):
+            assert report.profile.stages[bookkeeping].calls == len(corpus)
+        assert report.cache_misses == len(corpus)
+
+    def test_executors_agree(self, vl_libs, plan):
+        corpus = build_corpus(vl_libs, count=3)
+        by_executor = {
+            executor: MigrationFarm(plan, jobs=2, executor=executor).run(corpus)
+            for executor in ("inline", "thread", "process")
+        }
+        reference = by_executor["inline"]
+        for executor, report in by_executor.items():
+            assert report.migrated == len(corpus), executor
+            assert report.all_clean, executor
+            for ref_item, item in zip(reference.items, report.items):
+                assert item.digest == ref_item.digest
+                assert item.result.bus_renames == ref_item.result.bus_renames
+                assert (
+                    item.result.replacements.replacements
+                    == ref_item.result.replacements.replacements
+                )
+
+    def test_keep_results_false_drops_payloads(self, vl_libs, plan):
+        corpus = build_corpus(vl_libs, count=2)
+        report = MigrationFarm(plan).run(corpus, keep_results=False)
+        assert report.migrated == 2 and report.all_clean
+        assert all(item.result is None for item in report.items)
+
+    def test_result_for(self, vl_libs, plan):
+        corpus = build_corpus(vl_libs, count=2)
+        report = MigrationFarm(plan).run(corpus)
+        assert report.result_for("unit01") is report.items[1].result
+        assert report.result_for("nope") is None
+
+    def test_migrate_corpus_convenience(self, vl_libs, plan, tmp_path):
+        corpus = build_corpus(vl_libs, count=2)
+        report = migrate_corpus(plan, corpus, jobs=1, cache=ResultCache(tmp_path))
+        assert report.migrated == 2
+        report = migrate_corpus(plan, corpus, jobs=1, cache=ResultCache(tmp_path))
+        assert report.cached == 2
+
+    def test_cache_accepts_plain_path(self, vl_libs, plan, tmp_path):
+        corpus = build_corpus(vl_libs, count=1)
+        MigrationFarm(plan, cache=tmp_path).run(corpus)
+        report = MigrationFarm(plan, cache=str(tmp_path)).run(corpus)
+        assert report.cached == 1
+
+
+class TestFailureIsolation:
+    def broken_corpus(self, vl_libs):
+        corpus = build_corpus(vl_libs, count=3)
+        corpus[1].pages[0].wires[0].label = "N<1:0"  # unterminated subscript
+        return corpus
+
+    def test_one_bad_design_does_not_abort_the_corpus(self, vl_libs, plan):
+        report = MigrationFarm(plan).run(self.broken_corpus(vl_libs))
+        assert report.failed == 1 and report.migrated == 2
+        assert not report.all_clean
+        bad = report.items[1]
+        assert bad.status == "failed"
+        assert "BusSyntaxError" in bad.error
+        assert bad.result is None
+        assert [item.status for item in report.items] == [
+            "migrated", "failed", "migrated",
+        ]
+
+    def test_failure_survives_process_pool(self, vl_libs, plan):
+        report = MigrationFarm(plan, jobs=2, executor="process").run(
+            self.broken_corpus(vl_libs)
+        )
+        assert report.failed == 1 and report.migrated == 2
+        assert "BusSyntaxError" in report.items[1].error
+
+    def test_failed_design_is_not_cached(self, vl_libs, plan, tmp_path):
+        corpus = self.broken_corpus(vl_libs)
+        cache = ResultCache(tmp_path)
+        MigrationFarm(plan, cache=cache).run(corpus)
+        assert len(cache) == 2  # only the successes were stored
+        report = MigrationFarm(plan, cache=ResultCache(tmp_path)).run(corpus)
+        assert report.cached == 2 and report.failed == 1
+
+
+class TestFarmValidation:
+    def test_jobs_must_be_positive(self, plan):
+        with pytest.raises(ValueError, match="jobs"):
+            MigrationFarm(plan, jobs=0)
+
+    def test_unknown_executor_rejected(self, plan):
+        with pytest.raises(ValueError, match="executor"):
+            MigrationFarm(plan, executor="fleet")
+
+
+class TestReportRendering:
+    def test_summary_and_render(self, vl_libs, plan, tmp_path):
+        corpus = build_corpus(vl_libs, count=2)
+        report = MigrationFarm(plan, cache=ResultCache(tmp_path)).run(corpus)
+        summary = report.summary()
+        assert "2 migrated" in summary and "2/2 clean" in summary
+        rendered = report.render(per_design=True)
+        assert "unit00" in rendered and "unit01" in rendered
+        assert "verification" in rendered  # the stage table rides along
+
+
+class TestNetlistCache:
+    def test_source_extraction_is_reused(self, vl_libs, plan):
+        from cadinterop.schematic.migrate import Migrator
+
+        corpus = build_corpus(vl_libs, count=1)
+        cache = NetlistCache()
+        migrator = Migrator(plan, netlist_cache=cache)
+        migrator.migrate(corpus[0])
+        assert cache.misses == 1 and cache.hits == 0
+        migrator.migrate(corpus[0])
+        assert cache.hits == 1

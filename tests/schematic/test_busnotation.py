@@ -173,3 +173,46 @@ class TestDeclaredBuses:
 
     def test_single_bits_not_declarations(self):
         assert declared_buses_of(["A<3>"], VL) == {}
+
+
+class TestParseMemoization:
+    def test_condensed_regex_compiled_at_module_level(self):
+        from cadinterop.schematic import busnotation
+
+        assert busnotation._CONDENSED_RE.pattern == r"^([A-Za-z_][A-Za-z_0-9]*?)(\d+)$"
+
+    def test_repeated_parse_returns_cached_ref(self):
+        from cadinterop.schematic.busnotation import _parse_memoized
+
+        _parse_memoized.cache_clear()
+        first = VL.parse("A<0:15>")
+        second = VL.parse("A<0:15>")
+        assert first is second  # frozen BusRef shared from the memo
+        info = _parse_memoized.cache_info()
+        assert info.hits >= 1 and info.misses >= 1
+
+    def test_cache_keyed_on_declared_table(self):
+        # "A0" is a scalar when A is undeclared, bit 0 of A when declared —
+        # the memo must not conflate the two.
+        undeclared = VL.parse("A0")
+        declared = VL.parse("A0", {"A": (0, 15)})
+        assert undeclared.is_scalar
+        assert declared.indices == (0, 0) and declared.base == "A"
+        assert VL.parse("A0").is_scalar  # still scalar afterwards
+
+    def test_declared_table_order_is_canonical(self):
+        a_first = VL.parse("B3", {"A": (0, 3), "B": (0, 7)})
+        b_first = VL.parse("B3", {"B": (0, 7), "A": (0, 3)})
+        assert a_first is b_first
+
+    def test_cache_keyed_on_syntax(self):
+        # Same text, different dialect objects: condensed refs only resolve
+        # under the dialect that allows them.
+        declared = {"A": (0, 15)}
+        assert VL.parse("A0", declared).indices == (0, 0)
+        assert CD.parse("A0", declared).is_scalar
+
+    def test_failed_parse_not_cached_and_still_raises(self):
+        for _ in range(2):
+            with pytest.raises(BusSyntaxError):
+                VL.parse("A<1:0")

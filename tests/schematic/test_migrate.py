@@ -206,3 +206,29 @@ class TestChainCorpus:
         # Each of the 2 rows crosses 2 page boundaries; each boundary net
         # appears on 2 pages -> 2 connectors per boundary net.
         assert result.connectors.offpage_added == 2 * 2 * 2
+
+
+class TestStageInstrumentation:
+    def test_stage_samples_cover_the_pipeline(self, result):
+        from cadinterop.schematic.migrate import PIPELINE_STAGES
+
+        assert [sample.stage for sample in result.stages] == list(PIPELINE_STAGES)
+        assert all(sample.seconds >= 0 for sample in result.stages)
+        items = {sample.stage: sample.items for sample in result.stages}
+        assert items["replacement"] > 0
+        assert items["verification"] > 0  # source nets compared
+
+    def test_verification_stage_absent_when_disabled(self, vl_libs, sample):
+        from cadinterop.schematic.migrate import PIPELINE_STAGES
+
+        plan = build_sample_plan(source_libraries=vl_libs, verify=False)
+        result = Migrator(plan).migrate(sample)
+        stages = [s.stage for s in result.stages]
+        assert stages == list(PIPELINE_STAGES[:-1])
+        assert "verification" not in stages
+
+    def test_stage_observer_sees_every_sample(self, vl_libs, sample):
+        seen = []
+        plan = build_sample_plan(source_libraries=vl_libs)
+        result = Migrator(plan, stage_observer=seen.append).migrate(sample)
+        assert seen == result.stages

@@ -100,3 +100,66 @@ class TestNaming:
 
     def test_max_length_flag(self, capsys):
         assert main(["naming", "--max-length", "32", "a_rather_long_name"]) == 0
+
+
+class TestMigrateBatch:
+    def write_vl(self, tmp_path, name="mixed1"):
+        from cadinterop.schematic import io_vl
+        from cadinterop.schematic.samples import build_sample_schematic, build_vl_libraries
+
+        cell = build_sample_schematic(build_vl_libraries())
+        cell.name = name
+        path = tmp_path / f"{name}.vl"
+        path.write_text(io_vl.dump_schematic(cell))
+        return path
+
+    def test_generated_corpus_runs_clean(self, capsys):
+        assert main(["migrate-batch", "--generate", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 designs" in out and "3 migrated" in out and "3/3 clean" in out
+
+    def test_cache_dir_makes_second_run_warm(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["migrate-batch", "--generate", "4", "--cache-dir", cache]) == 0
+        assert "4 migrated, 0 from cache" in capsys.readouterr().out
+        assert main(["migrate-batch", "--generate", "4", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "0 migrated, 4 from cache" in out and "4 hits" in out
+
+    def test_vl_file_and_directory_inputs(self, tmp_path, capsys):
+        self.write_vl(tmp_path, "alpha")
+        self.write_vl(tmp_path, "beta")
+        assert main(["migrate-batch", str(tmp_path)]) == 0
+        assert "2 designs" in capsys.readouterr().out
+        assert main(["migrate-batch", str(tmp_path / "alpha.vl")]) == 0
+        assert "1 designs" in capsys.readouterr().out
+
+    def test_profile_flag_prints_stage_table(self, capsys):
+        assert main(["migrate-batch", "--generate", "2", "--profile", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "verification" in out and "farm:digest" in out
+        assert "gen000" in out  # per-design rows
+
+    def test_out_writes_translated_designs(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        self.write_vl(tmp_path, "alpha")
+        assert main(["migrate-batch", str(tmp_path / "alpha.vl"),
+                     "--out", str(out_dir)]) == 0
+        assert (out_dir / "alpha.cd").exists()
+        assert "wrote 1 translated" in capsys.readouterr().out
+
+    def test_missing_path_is_an_error(self, tmp_path, capsys):
+        assert main(["migrate-batch", str(tmp_path / "nope.vl")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_empty_directory_is_an_error(self, tmp_path, capsys):
+        assert main(["migrate-batch", str(tmp_path)]) == 2
+        assert "no .vl schematics" in capsys.readouterr().err
+
+    def test_no_inputs_is_an_error(self, capsys):
+        assert main(["migrate-batch"]) == 2
+        assert "nothing to migrate" in capsys.readouterr().err
+
+    def test_nonpositive_jobs_is_an_error(self, capsys):
+        assert main(["migrate-batch", "--generate", "1", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err

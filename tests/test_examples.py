@@ -68,3 +68,11 @@ class TestExamples:
         out = run_example("rtl_to_layout.py")
         assert "functional closure: PASS (8/8 vectors)" in out
         assert "hand-off clean: True" in out
+
+    def test_farm_migration(self, tmp_path):
+        out = run_example("farm_migration.py", str(tmp_path))
+        assert "cold run" in out and "12 migrated" in out
+        assert "12 from cache" in out  # the warm run
+        assert "re-migrated only ['corpus05']" in out
+        assert "verification" in out  # stage profile table printed
+        assert (tmp_path / "migration-cache").is_dir()
