@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench rows examples farm checklist all clean
+.PHONY: install test bench rows examples farm trace checklist all clean
 
 install:
 	pip install -e .
@@ -30,6 +30,10 @@ examples:
 # Corpus migration demo: parallel workers + content-hash cache.
 farm:
 	$(PYTHON) examples/farm_migration.py
+
+# Traced batch migration: span tree + stats table on stdout.
+trace:
+	$(PYTHON) -m cadinterop.cli trace migrate-batch --generate 8 --jobs 2
 
 checklist:
 	$(PYTHON) -m cadinterop.cli checklist --scenario full-asic

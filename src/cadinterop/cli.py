@@ -14,11 +14,18 @@ Subcommands
 ``cadinterop naming NAME [NAME ...]``
     Check a naming convention over a list of identifiers.
 ``cadinterop migrate-batch [PATH ...] [--generate N] [--jobs N]
-[--cache-dir DIR] [--profile] [--out DIR]``
+[--cache-dir DIR] [--profile] [--out DIR] [--trace-out FILE]
+[--metrics-out FILE]``
     Batch-migrate a corpus of Viewdraw-like schematics (``.vl`` files,
     directories of them, and/or a generated synthetic corpus) onto the
     Composer-like libraries through the migration farm: parallel workers,
     content-hash result caching, per-stage profiling.
+``cadinterop trace [--trace-out FILE] [--metrics-out FILE] CMD [ARG ...]``
+    Run any other subcommand with the observability layer enabled; print
+    the span tree and flat stats afterwards, optionally writing the JSONL
+    trace and a metrics snapshot to files.
+``cadinterop stats FILE``
+    Pretty-print a JSONL trace file written by ``trace``/``migrate-batch``.
 """
 
 from __future__ import annotations
@@ -134,6 +141,52 @@ def _cmd_naming(args: argparse.Namespace) -> int:
 
 
 def _cmd_migrate_batch(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from cadinterop.obs import (
+        disable_metrics,
+        disable_tracing,
+        enable_metrics,
+        enable_tracing,
+        get_metrics,
+        get_tracer,
+        write_trace,
+    )
+
+    # --trace-out / --metrics-out imply observability even without the
+    # `trace` wrapper; only own (and later tear down) what we enabled here.
+    own_tracer = False
+    own_metrics = False
+    if args.trace_out and not get_tracer().enabled:
+        enable_tracing()
+        own_tracer = True
+    if (args.trace_out or args.metrics_out) and not get_metrics().enabled:
+        enable_metrics()
+        own_metrics = True
+    try:
+        code = _run_migrate_batch(args)
+        tracer = get_tracer()
+        if args.trace_out and tracer.enabled:
+            write_trace(
+                args.trace_out, tracer.spans(), get_metrics().snapshot(),
+                trace_id=tracer.trace_id,
+            )
+            print(f"trace written to {args.trace_out}")
+        if args.metrics_out and get_metrics().enabled:
+            Path(args.metrics_out).write_text(
+                json.dumps(get_metrics().snapshot(), indent=2, sort_keys=True) + "\n"
+            )
+            print(f"metrics written to {args.metrics_out}")
+        return code
+    finally:
+        if own_tracer:
+            disable_tracing()
+        if own_metrics:
+            disable_metrics()
+
+
+def _run_migrate_batch(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from cadinterop.farm import MigrationFarm, ResultCache
@@ -204,6 +257,74 @@ def _cmd_migrate_batch(args: argparse.Namespace) -> int:
     return 0 if report.all_clean else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from cadinterop.obs import (
+        disable_metrics,
+        disable_tracing,
+        enable_metrics,
+        enable_tracing,
+        render_stats,
+        render_tree,
+        write_trace,
+    )
+
+    rest = list(args.args)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print("trace: give a cadinterop command to run, e.g. "
+              "`cadinterop trace migrate-batch --generate 8`", file=sys.stderr)
+        return 2
+    if rest[0] in ("trace", "stats"):
+        print(f"trace: cannot wrap the {rest[0]!r} command", file=sys.stderr)
+        return 2
+
+    tracer = enable_tracing()
+    metrics = enable_metrics()
+    try:
+        with tracer.span("cli:" + rest[0], argv=" ".join(rest)) as span:
+            code = main(rest)
+            span.set(exit_code=code)
+        spans = tracer.spans()
+        snapshot = metrics.snapshot()
+        print()
+        print(render_tree(spans))
+        print()
+        print(render_stats(spans, snapshot))
+        if args.trace_out:
+            write_trace(args.trace_out, spans, snapshot, trace_id=tracer.trace_id)
+            print(f"trace written to {args.trace_out}")
+        if args.metrics_out:
+            import json
+
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"metrics written to {args.metrics_out}")
+        return code
+    finally:
+        disable_tracing()
+        disable_metrics()
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from cadinterop.obs import read_trace, render_stats, render_tree
+
+    try:
+        trace = read_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.file}: {exc}", file=sys.stderr)
+        return 2
+    meta = trace["meta"]
+    if meta.get("trace_id"):
+        print(f"trace {meta['trace_id']} ({args.file})")
+        print()
+    print(render_tree(trace["spans"]))
+    print()
+    print(render_stats(trace["spans"], trace["metrics"]))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cadinterop",
@@ -249,7 +370,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print per-design outcomes and the stage profile")
     batch.add_argument("--out", default=None, metavar="DIR",
                        help="write translated .cd files to DIR")
+    batch.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="enable tracing and write a JSONL trace to FILE")
+    batch.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="enable metrics and write a JSON snapshot to FILE")
     batch.set_defaults(fn=_cmd_migrate_batch)
+
+    trace = commands.add_parser(
+        "trace", help="run another subcommand with tracing + metrics enabled"
+    )
+    trace.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write the JSONL trace to FILE")
+    trace.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the metrics snapshot (JSON) to FILE")
+    trace.add_argument("args", nargs=argparse.REMAINDER,
+                       help="the cadinterop command to run under tracing")
+    trace.set_defaults(fn=_cmd_trace)
+
+    stats = commands.add_parser("stats", help="pretty-print a JSONL trace file")
+    stats.add_argument("file")
+    stats.set_defaults(fn=_cmd_stats)
 
     return parser
 

@@ -25,6 +25,7 @@ import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
+from cadinterop.obs.metrics import MetricsRegistry
 from cadinterop.schematic.migrate import (
     MigrationResult,
     PIPELINE_VERSION,
@@ -46,25 +47,49 @@ def cache_key(design_digest: str, plan_dig: str, pipeline_version: str = PIPELIN
 class ResultCache:
     """On-disk store of :class:`MigrationResult` objects by content key.
 
-    ``hits`` / ``misses`` / ``corrupt`` / ``stores`` count this instance's
-    traffic (the farm copies them into its report).  ``root=None`` keeps the
-    cache in memory only — useful for tests and one-shot runs.
+    Traffic counts live in a :class:`~cadinterop.obs.metrics.MetricsRegistry`
+    (``cache.hits`` / ``cache.misses`` / ``cache.corrupt`` / ``cache.stores``
+    counters; pass ``metrics`` to share a registry, otherwise the cache owns
+    a private one).  The classic ``hits`` / ``misses`` / ``corrupt`` /
+    ``stores`` attributes remain as read-only views; the farm copies them
+    into its report.  ``root=None`` keeps the cache in memory only — useful
+    for tests and one-shot runs.
     """
 
     def __init__(
         self,
         root: Optional[Union[str, Path]] = None,
         pipeline_version: str = PIPELINE_VERSION,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.root = Path(root) if root is not None else None
         self.pipeline_version = pipeline_version
         self._memory: dict = {}
-        self.hits = 0
-        self.misses = 0
-        self.corrupt = 0
-        self.stores = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hits = self.metrics.counter("cache.hits")
+        self._misses = self.metrics.counter("cache.misses")
+        self._corrupt = self.metrics.counter("cache.corrupt")
+        self._stores = self.metrics.counter("cache.stores")
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- traffic counters (views over the metrics registry) ---------------
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def corrupt(self) -> int:
+        return self._corrupt.value
+
+    @property
+    def stores(self) -> int:
+        return self._stores.value
 
     # -- keying ----------------------------------------------------------
 
@@ -82,10 +107,10 @@ class ResultCache:
     def get(self, key: str) -> Optional[MigrationResult]:
         """Return the cached result for ``key``, or None (counting a miss)."""
         if key in self._memory:
-            self.hits += 1
+            self._hits.inc()
             return self._memory[key]
         if self.root is None:
-            self.misses += 1
+            self._misses.inc()
             return None
         path = self._path(key)
         try:
@@ -101,25 +126,25 @@ class ResultCache:
             if not isinstance(result, MigrationResult):
                 raise ValueError("cache payload is not a MigrationResult")
         except FileNotFoundError:
-            self.misses += 1
+            self._misses.inc()
             return None
         except Exception:
             # Corrupted / foreign / stale-format entry: drop it, treat as miss.
-            self.corrupt += 1
-            self.misses += 1
+            self._corrupt.inc()
+            self._misses.inc()
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
-        self.hits += 1
+        self._hits.inc()
         self._memory[key] = result
         return result
 
     def put(self, key: str, result: MigrationResult) -> None:
         """Store a result under ``key`` (atomically when disk-backed)."""
         self._memory[key] = result
-        self.stores += 1
+        self._stores.inc()
         if self.root is None:
             return
         payload = {"format": CACHE_FORMAT, "key": key, "result": result}

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from cadinterop.farm.profiler import StageProfiler
 from cadinterop.schematic.migrate import MigrationResult
@@ -42,6 +42,11 @@ class FarmReport:
     cache_corrupt: int = 0
     items: List[FarmItem] = field(default_factory=list)
     profile: StageProfiler = field(default_factory=StageProfiler)
+    #: Snapshot of the run's metrics registry (farm counters, cache traffic,
+    #: per-stage latency histograms) — plain dicts, JSON-safe.
+    metrics: Dict[str, dict] = field(default_factory=dict)
+    #: Trace id of the run when tracing was enabled, else None.
+    trace_id: Optional[str] = None
 
     @property
     def clean(self) -> int:
@@ -69,9 +74,19 @@ class FarmReport:
 
     def render(self, per_design: bool = False) -> str:
         lines = [self.summary()]
+        if self.trace_id:
+            lines.append(f"trace: {self.trace_id}")
         if per_design:
             lines.extend("  " + item.summary() for item in self.items)
         if self.profile.stages:
             lines.append("")
             lines.append(self.profile.table())
+        counters = sorted(
+            (name, data["value"])
+            for name, data in self.metrics.items()
+            if data.get("type") == "counter" and not name.startswith("stage.")
+        )
+        if counters:
+            lines.append("")
+            lines.append("counters: " + "  ".join(f"{n}={v}" for n, v in counters))
         return "\n".join(lines)

@@ -31,6 +31,8 @@ from typing import List, Optional, Sequence, Tuple, Union
 from cadinterop.farm.cache import ResultCache, cache_key
 from cadinterop.farm.profiler import StageProfiler
 from cadinterop.farm.report import FarmItem, FarmReport
+from cadinterop.obs.metrics import MetricsRegistry, get_metrics
+from cadinterop.obs.trace import enable_tracing, get_tracer
 from cadinterop.schematic.migrate import (
     MigrationPlan,
     MigrationResult,
@@ -44,8 +46,9 @@ from cadinterop.schematic.verify import NetlistCache
 #: A unit of work shipped to a worker: (corpus index, schematic).
 _Task = Tuple[int, Schematic]
 #: What a worker sends back: (corpus index, result or None, error or None,
-#: seconds spent migrating, measured inside the worker).
-_Outcome = Tuple[int, Optional[MigrationResult], Optional[str], float]
+#: seconds spent migrating measured inside the worker, and the spans the
+#: worker's tracer recorded for this task — empty when tracing is off).
+_Outcome = Tuple[int, Optional[MigrationResult], Optional[str], float, list]
 
 # Per-process worker state for the process-pool executor.  Each worker
 # builds one Migrator at pool start (plan arrives once via the initializer,
@@ -53,20 +56,28 @@ _Outcome = Tuple[int, Optional[MigrationResult], Optional[str], float]
 _WORKER_MIGRATOR: Optional[Migrator] = None
 
 
-def _process_worker_init(plan: MigrationPlan) -> None:
+def _process_worker_init(plan: MigrationPlan, trace_id: Optional[str] = None) -> None:
     global _WORKER_MIGRATOR
     _WORKER_MIGRATOR = Migrator(plan, netlist_cache=NetlistCache())
+    if trace_id is not None:
+        # Join the parent's trace: this worker's spans carry the same trace
+        # id and are shipped back (and re-parented) with each outcome.
+        enable_tracing(trace_id)
 
 
 def _process_worker_migrate(task: _Task) -> _Outcome:
     index, schematic = task
     assert _WORKER_MIGRATOR is not None, "worker used before initialization"
+    tracer = get_tracer()
     start = time.perf_counter()
     try:
         result = _WORKER_MIGRATOR.migrate(schematic)
-        return index, result, None, time.perf_counter() - start
+        return index, result, None, time.perf_counter() - start, tracer.drain()
     except Exception as exc:  # a bad design must not kill the corpus
-        return index, None, f"{type(exc).__name__}: {exc}", time.perf_counter() - start
+        return (
+            index, None, f"{type(exc).__name__}: {exc}",
+            time.perf_counter() - start, tracer.drain(),
+        )
 
 
 class MigrationFarm:
@@ -100,12 +111,27 @@ class MigrationFarm:
 
     def run(self, designs: Sequence[Schematic], keep_results: bool = True) -> FarmReport:
         """Migrate every design, preferring cached results; never raises for
-        a single bad design — inspect ``report.items`` for failures."""
+        a single bad design — inspect ``report.items`` for failures.
+
+        When tracing is enabled (:func:`cadinterop.obs.enable_tracing`) the
+        run emits one ``farm:run`` span with every per-design ``migrate``
+        span beneath it — including spans recorded inside thread and process
+        workers, which are merged back and re-parented here.
+        """
+        tracer = get_tracer()
+        with tracer.span(
+            "farm:run", jobs=self.jobs, executor=self.executor, designs=len(designs)
+        ) as run_span:
+            return self._run(designs, keep_results, tracer, run_span)
+
+    def _run(self, designs, keep_results, tracer, run_span) -> FarmReport:
         started = time.perf_counter()
-        profiler = StageProfiler()
+        registry = MetricsRegistry()
+        profiler = StageProfiler(registry=registry)
         report = FarmReport(
             jobs=self.jobs, executor=self.executor, total=len(designs), profile=profiler
         )
+        report.trace_id = tracer.trace_id if tracer.enabled else None
         report.items = [
             FarmItem(design=d.name, digest="", status="failed") for d in designs
         ]
@@ -119,27 +145,34 @@ class MigrationFarm:
 
         pending: List[_Task] = []
         keys: dict = {}
-        for index, design in enumerate(designs):
-            item = report.items[index]
-            t0 = time.perf_counter()
-            item.digest = schematic_digest(design)
-            profiler.record("farm:digest", time.perf_counter() - t0, 1)
-            if self.cache is not None:
-                keys[index] = cache_key(item.digest, plan_d, self.cache.pipeline_version)
+        with tracer.span("farm:scan", designs=len(designs)):
+            for index, design in enumerate(designs):
+                item = report.items[index]
                 t0 = time.perf_counter()
-                hit = self.cache.get(keys[index])
-                elapsed = time.perf_counter() - t0
-                profiler.record("farm:cache-lookup", elapsed, 1)
-                if hit is not None:
-                    item.status = "cached"
-                    item.clean = hit.clean
-                    item.seconds = elapsed
-                    item.result = hit if keep_results else None
-                    report.cached += 1
-                    continue
-            pending.append((index, design))
+                item.digest = schematic_digest(design)
+                profiler.record("farm:digest", time.perf_counter() - t0, 1)
+                if self.cache is not None:
+                    keys[index] = cache_key(
+                        item.digest, plan_d, self.cache.pipeline_version
+                    )
+                    t0 = time.perf_counter()
+                    hit = self.cache.get(keys[index])
+                    elapsed = time.perf_counter() - t0
+                    profiler.record("farm:cache-lookup", elapsed, 1)
+                    if hit is not None:
+                        item.status = "cached"
+                        item.clean = hit.clean
+                        item.seconds = elapsed
+                        item.result = hit if keep_results else None
+                        report.cached += 1
+                        continue
+                pending.append((index, design))
 
-        for index, result, error, seconds in self._execute(pending):
+        for index, result, error, seconds, spans in self._execute(pending, run_span):
+            if spans:
+                # Worker-side spans (process executor): re-root them under
+                # this run so the merged trace stays one tree.
+                tracer.adopt(spans, parent_id=run_span.span_id)
             item = report.items[index]
             item.seconds = seconds
             if result is None:
@@ -157,22 +190,40 @@ class MigrationFarm:
                 self.cache.put(keys[index], result)
                 profiler.record("farm:cache-store", time.perf_counter() - t0, 1)
 
+        for outcome, count in (
+            ("migrated", report.migrated),
+            ("cached", report.cached),
+            ("failed", report.failed),
+        ):
+            if count:
+                registry.counter(f"farm.designs.{outcome}").inc(count)
         if self.cache is not None:
             report.cache_hits = self.cache.hits
             report.cache_misses = self.cache.misses
             report.cache_corrupt = self.cache.corrupt
+            for name, value in (
+                ("farm.cache.hits", report.cache_hits),
+                ("farm.cache.misses", report.cache_misses),
+                ("farm.cache.corrupt", report.cache_corrupt),
+            ):
+                if value:
+                    registry.counter(name).inc(value)
         report.wall_seconds = time.perf_counter() - started
+        report.metrics = registry.snapshot()
+        # Roll this run up into the globally installed registry (no-op
+        # unless metrics were enabled, e.g. under `cadinterop trace`).
+        get_metrics().merge(report.metrics)
         return report
 
     # -- executors -------------------------------------------------------
 
-    def _execute(self, tasks: List[_Task]) -> List[_Outcome]:
+    def _execute(self, tasks: List[_Task], run_span) -> List[_Outcome]:
         if not tasks:
             return []
         if self.executor == "process" and self.jobs > 1:
             return self._execute_processes(tasks)
         if self.executor == "thread" and self.jobs > 1:
-            return self._execute_threads(tasks)
+            return self._execute_threads(tasks, run_span)
         return self._execute_inline(tasks)
 
     def _execute_inline(self, tasks: List[_Task]):
@@ -184,34 +235,42 @@ class MigrationFarm:
                 result, error = migrator.migrate(design), None
             except Exception as exc:
                 result, error = None, f"{type(exc).__name__}: {exc}"
-            outcomes.append((index, result, error, time.perf_counter() - t0))
+            outcomes.append((index, result, error, time.perf_counter() - t0, []))
         return outcomes
 
     def _execute_processes(self, tasks: List[_Task]) -> List[_Outcome]:
         workers = min(self.jobs, len(tasks))
+        tracer = get_tracer()
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=workers,
             initializer=_process_worker_init,
-            initargs=(self.plan,),
+            initargs=(self.plan, tracer.trace_id if tracer.enabled else None),
         ) as pool:
             chunksize = max(1, len(tasks) // (workers * 4))
             return list(
                 pool.map(_process_worker_migrate, tasks, chunksize=chunksize)
             )
 
-    def _execute_threads(self, tasks: List[_Task]):
+    def _execute_threads(self, tasks: List[_Task], run_span):
         local = threading.local()
+        tracer = get_tracer()
 
         def migrate_one(task: _Task):
             index, design = task
             if not hasattr(local, "migrator"):
                 local.migrator = Migrator(self.plan, netlist_cache=NetlistCache())
+            # Worker threads start with an empty span context; attach the
+            # run span so each migrate span parents to it.
+            token = tracer.attach(run_span.span_id) if tracer.enabled else None
             t0 = time.perf_counter()
             try:
                 result, error = local.migrator.migrate(design), None
             except Exception as exc:
                 result, error = None, f"{type(exc).__name__}: {exc}"
-            return index, result, error, time.perf_counter() - t0
+            finally:
+                if token is not None:
+                    tracer.detach(token)
+            return index, result, error, time.perf_counter() - t0, []
 
         with concurrent.futures.ThreadPoolExecutor(
             max_workers=min(self.jobs, len(tasks))

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from cadinterop.hdl.ast_nodes import HDLError, Module
 from cadinterop.hdl.logic import naive_to4, to4, to9
 from cadinterop.hdl.simulator import FIFO, OrderingPolicy, Simulator
+from cadinterop.obs import get_metrics, get_tracer
 
 
 @dataclass(frozen=True)
@@ -64,8 +65,13 @@ class CoSimulation:
             raise ValueError(f"unknown value mode {value_mode!r}")
         self.left = Simulator(left, left_policy)
         self.right = Simulator(right, right_policy)
+        # The kernels see one tiny run() per joint time step; the cosim span
+        # below covers the whole session, so keep the per-run spans quiet.
+        self.left._obs_quiet = True
+        self.right._obs_quiet = True
         self.bridge = list(bridge)
         self.aligned = aligned
+        self.exchanges = 0
         self.max_exchange_iterations = max_exchange_iterations
         self._convert = _correct_convert if value_mode == "correct" else _naive_convert
         for signal in self.bridge:
@@ -80,6 +86,7 @@ class CoSimulation:
 
     def _exchange(self) -> bool:
         """Copy boundary values across; True if anything changed."""
+        self.exchanges += 1
         changed = False
         for signal in self.bridge:
             source_sim = self._side(signal.source_side)
@@ -99,18 +106,30 @@ class CoSimulation:
 
     def run(self, until: int) -> int:
         """Co-simulate to ``until``; returns the final time reached."""
-        # Time zero settle + initial exchange.
-        self.left.run(0)
-        self.right.run(0)
-        self._exchange_phase()
-
-        while True:
-            next_time = self._next_time()
-            if next_time is None or next_time > until:
-                break
-            self.left.run(next_time)
-            self.right.run(next_time)
+        exchanges_before = self.exchanges
+        with get_tracer().span(
+            "hdl:cosim",
+            left=self.left.module.name,
+            right=self.right.module.name,
+            until=until,
+            aligned=self.aligned,
+        ) as span:
+            # Time zero settle + initial exchange.
+            self.left.run(0)
+            self.right.run(0)
             self._exchange_phase()
+
+            while True:
+                next_time = self._next_time()
+                if next_time is None or next_time > until:
+                    break
+                self.left.run(next_time)
+                self.right.run(next_time)
+                self._exchange_phase()
+            span.set(exchanges=self.exchanges - exchanges_before)
+        get_metrics().counter("hdl.cosim.exchanges").inc(
+            self.exchanges - exchanges_before
+        )
         return until
 
     def _exchange_phase(self) -> None:

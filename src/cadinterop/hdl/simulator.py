@@ -50,6 +50,7 @@ from cadinterop.hdl.ast_nodes import (
     expr_reads,
 )
 from cadinterop.hdl.logic import Logic4
+from cadinterop.obs import get_metrics, get_tracer
 
 
 # ---------------------------------------------------------------------------
@@ -266,10 +267,28 @@ class Simulator:
         policy: OrderingPolicy = FIFO,
         trace_signals: Optional[Sequence[str]] = None,
     ) -> None:
+        with get_tracer().span(
+            "hdl:elaborate", module=module.name, policy=policy.name
+        ) as span:
+            self._elaborate(module, policy, trace_signals)
+            span.set(processes=len(self._processes), nets=len(module.nets))
+
+    def _elaborate(
+        self,
+        module: Module,
+        policy: OrderingPolicy,
+        trace_signals: Optional[Sequence[str]],
+    ) -> None:
         module.validate()
         self.module = module
         self.policy = policy
         self.now = 0
+        #: Cumulative observability tallies (cheap ints, always maintained).
+        self.events_executed = 0
+        self.activations = 0
+        #: Set by enclosing layers (e.g. co-simulation) that make many tiny
+        #: ``run()`` calls: suppresses the per-run span to keep traces sane.
+        self._obs_quiet = False
         self.values: Dict[str, str] = {name: "x" for name in module.nets}
         self.waveforms: Dict[str, List[Tuple[int, str]]] = {
             name: [] for name in (trace_signals if trace_signals is not None else module.nets)
@@ -440,12 +459,34 @@ class Simulator:
         ``max_activations`` bounds zero-delay oscillation (e.g. a ring of
         inverters with no delay) and raises :class:`HDLError` when hit.
         """
+        tracer = get_tracer()
+        if not tracer.enabled or self._obs_quiet:
+            return self._run(until, max_activations)
+        events_before = self.events_executed
+        activations_before = self.activations
+        with tracer.span("hdl:sim", module=self.module.name, until=until) as span:
+            end = self._run(until, max_activations)
+            span.set(
+                events=self.events_executed - events_before,
+                activations=self.activations - activations_before,
+                end_time=end,
+            )
+        metrics = get_metrics()
+        metrics.counter("hdl.sim.runs").inc()
+        metrics.counter("hdl.sim.events").inc(self.events_executed - events_before)
+        metrics.counter("hdl.sim.activations").inc(
+            self.activations - activations_before
+        )
+        return end
+
+    def _run(self, until: int, max_activations: int) -> int:
         budget = [max_activations]
         original_run_ready = self._run_ready
 
         def bounded_run_ready() -> None:
             while self._ready:
                 budget[0] -= 1
+                self.activations += 1
                 if budget[0] < 0:
                     raise HDLError(
                         f"activation budget exhausted at t={self.now} "
@@ -467,11 +508,13 @@ class Simulator:
                     heapq.heappush(self._heap, event)
                     break
                 self.now = event.time
+                self.events_executed += 1
                 event.action()
                 # Drain same-time events before settling.
                 while self._heap and self._heap[0].time == self.now:
                     follow = heapq.heappop(self._heap)
                     if not follow.cancelled:
+                        self.events_executed += 1
                         follow.action()
                 self._settle()
         finally:

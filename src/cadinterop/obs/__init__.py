@@ -1,0 +1,108 @@
+"""Unified observability: tracing, metrics, span-aware logging, exporters.
+
+The paper's Section 6 methodology analyzes *a CAD system in operation* —
+task graphs and data/control-flow traces of real tool runs.  This package
+gives every pipeline in the reproduction one way to report what it did:
+
+* :mod:`~cadinterop.obs.trace` — hierarchical spans (context manager /
+  decorator), contextvar nesting, thread-safe buffering, process-worker
+  merge; off by default via a no-op singleton tracer;
+* :mod:`~cadinterop.obs.metrics` — counters, gauges, fixed-bucket
+  histograms with mergeable plain-dict snapshots;
+* :mod:`~cadinterop.obs.logger` — ``get_logger(name)``, stamping the
+  current trace/span ids onto every record;
+* :mod:`~cadinterop.obs.export` — JSONL trace files, span-tree and flat
+  stats renderers;
+* :mod:`~cadinterop.obs.validate` — schema checking for emitted traces
+  (``python -m cadinterop.obs.validate``).
+
+The instrumented pipelines are ``schematic.migrate`` (per-stage spans),
+``farm`` (scheduler spans merged across workers, cache/stage metrics),
+``workflow.engine`` (run/step spans, step counters), and ``hdl``
+(elaboration/simulation/co-simulation spans, event counters).  Drive them
+from the shell via ``cadinterop trace <cmd> ...`` and ``cadinterop stats``.
+"""
+
+from cadinterop.obs.export import (
+    TRACE_FORMAT,
+    read_trace,
+    render_stats,
+    render_tree,
+    span_stats,
+    trace_records,
+    write_trace,
+)
+from cadinterop.obs.logger import SpanContextFilter, get_logger
+from cadinterop.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    render_metrics,
+    set_metrics,
+)
+from cadinterop.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_span_id,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    traced,
+)
+
+def __getattr__(name):
+    # Lazy so that ``python -m cadinterop.obs.validate`` does not find the
+    # submodule pre-imported by its own package (runpy RuntimeWarning).
+    if name == "validate_trace":
+        from cadinterop.obs.validate import validate_trace
+
+        return validate_trace
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Span",
+    "SpanContextFilter",
+    "TRACE_FORMAT",
+    "Tracer",
+    "current_span_id",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "get_logger",
+    "get_metrics",
+    "get_tracer",
+    "read_trace",
+    "render_metrics",
+    "render_stats",
+    "render_tree",
+    "set_metrics",
+    "set_tracer",
+    "span_stats",
+    "trace_records",
+    "traced",
+    "validate_trace",
+    "write_trace",
+]

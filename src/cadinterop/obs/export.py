@@ -1,0 +1,156 @@
+"""Exporters for traces and metrics: JSONL file, span tree, stats tables.
+
+One trace file is JSON Lines: a ``meta`` record first, then one ``span``
+record per finished span, then one ``metric`` record per instrument.
+Everything is primitives, so any log pipeline (or ``cadinterop stats``)
+can consume it; :mod:`cadinterop.obs.validate` checks the contract.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from cadinterop.obs.metrics import render_metrics
+
+#: Format version stamped into every trace file's meta record.
+TRACE_FORMAT = 1
+
+
+def trace_records(
+    spans: Iterable[Dict[str, Any]],
+    metrics: Optional[Dict[str, Dict[str, Any]]] = None,
+    trace_id: Optional[str] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> List[Dict[str, Any]]:
+    """The record stream a trace file is made of (meta, spans, metrics)."""
+    records: List[Dict[str, Any]] = [
+        {"record": "meta", "format": TRACE_FORMAT, "trace_id": trace_id or "",
+         **(meta or {})}
+    ]
+    for span in spans:
+        records.append({"record": "span", **span})
+    for name, data in sorted((metrics or {}).items()):
+        records.append({"record": "metric", "name": name, **data})
+    return records
+
+
+def write_trace(
+    path,
+    spans: Iterable[Dict[str, Any]],
+    metrics: Optional[Dict[str, Dict[str, Any]]] = None,
+    trace_id: Optional[str] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write a JSONL trace file; returns the number of records written."""
+    records = trace_records(spans, metrics, trace_id, meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True, default=str))
+            handle.write("\n")
+    return len(records)
+
+
+def read_trace(path) -> Dict[str, Any]:
+    """Parse a JSONL trace file into ``{"meta", "spans", "metrics"}``."""
+    meta: Dict[str, Any] = {}
+    spans: List[Dict[str, Any]] = []
+    metrics: Dict[str, Dict[str, Any]] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("record", None)
+            if kind == "meta":
+                meta = record
+            elif kind == "span":
+                spans.append(record)
+            elif kind == "metric":
+                metrics[record.pop("name")] = record
+            else:
+                raise ValueError(f"unknown trace record type {kind!r}")
+    spans.sort(key=lambda span: span.get("start", 0.0))
+    return {"meta": meta, "spans": spans, "metrics": metrics}
+
+
+# ---------------------------------------------------------------------------
+# Human-readable renderers
+# ---------------------------------------------------------------------------
+
+
+def _format_attrs(attrs: Dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{key}={value}" for key, value in sorted(attrs.items()))
+    return "  {" + inner + "}"
+
+
+def render_tree(spans: List[Dict[str, Any]], max_spans: int = 500) -> str:
+    """The trace as an indented tree, children ordered by start time."""
+    if not spans:
+        return "(empty trace)"
+    ordered = sorted(spans, key=lambda span: span.get("start", 0.0))
+    known = {span["span_id"] for span in ordered}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for span in ordered:
+        parent = span.get("parent_id")
+        if parent not in known:
+            parent = None  # orphan (e.g. a truncated file): promote to root
+        children.setdefault(parent, []).append(span)
+
+    lines: List[str] = []
+    truncated = [False]
+
+    def walk(span: Dict[str, Any], prefix: str, last: bool) -> None:
+        if len(lines) >= max_spans:
+            truncated[0] = True
+            return
+        branch = "└─ " if last else "├─ "
+        status = "" if span.get("status", "ok") == "ok" else " [ERROR]"
+        lines.append(
+            f"{prefix}{branch}{span['name']} {span.get('seconds', 0.0) * 1e3:.2f} ms"
+            f"{status}{_format_attrs(span.get('attrs') or {})}"
+        )
+        kids = children.get(span["span_id"], [])
+        extend = "   " if last else "│  "
+        for index, kid in enumerate(kids):
+            walk(kid, prefix + extend, index == len(kids) - 1)
+
+    roots = children.get(None, [])
+    total = sum(span.get("seconds", 0.0) for span in roots)
+    lines.append(f"trace: {len(ordered)} spans, {total * 1e3:.1f} ms in root spans")
+    for index, root in enumerate(roots):
+        walk(root, "", index == len(roots) - 1)
+    if truncated[0]:
+        lines.append(f"... truncated at {max_spans} spans")
+    return "\n".join(lines)
+
+
+def span_stats(spans: Iterable[Dict[str, Any]]) -> Dict[str, Tuple[int, float]]:
+    """Aggregate spans by name -> (calls, total seconds)."""
+    stats: Dict[str, Tuple[int, float]] = {}
+    for span in spans:
+        calls, seconds = stats.get(span["name"], (0, 0.0))
+        stats[span["name"]] = (calls + 1, seconds + span.get("seconds", 0.0))
+    return stats
+
+
+def render_stats(
+    spans: List[Dict[str, Any]],
+    metrics: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> str:
+    """Flat stats: per-span-name aggregates plus the metrics table."""
+    lines = [f"{'span':26} {'calls':>6} {'total ms':>10} {'mean ms':>9}  share"]
+    stats = span_stats(spans)
+    grand_total = sum(seconds for _calls, seconds in stats.values()) or 1.0
+    for name, (calls, seconds) in sorted(stats.items(), key=lambda kv: -kv[1][1]):
+        lines.append(
+            f"{name:26} {calls:6d} {seconds * 1e3:10.2f} "
+            f"{seconds * 1e3 / calls:9.3f}  {seconds / grand_total:5.1%}"
+        )
+    if metrics:
+        lines.append("")
+        lines.append(render_metrics(metrics))
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Schema validation for emitted JSONL trace files.
+
+Usage: ``python -m cadinterop.obs.validate TRACE.jsonl [...]`` — exits 0
+when every file honors the trace contract, 1 otherwise (printing one line
+per violation).  CI runs this against a trace produced by
+``cadinterop.cli trace migrate-batch`` so the exporter, the worker span
+merge, and this schema can never drift apart silently.
+
+The contract (see :mod:`cadinterop.obs.export`):
+
+* line 1 is a ``meta`` record with ``format`` and a ``trace_id``;
+* every ``span`` record has a unique string ``span_id``, a ``name``,
+  numeric ``start``/``seconds`` (``seconds >= 0``), a ``status`` of
+  ``ok``/``error``, and a ``parent_id`` that is null or resolves to
+  another span in the same file;
+* every ``metric`` record has a ``name`` and a counter/gauge/histogram
+  payload whose fields are mutually consistent (histogram ``counts`` has
+  one more entry than ``buckets``; totals add up).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+VALID_STATUS = ("ok", "error")
+VALID_METRIC_TYPES = ("counter", "gauge", "histogram")
+
+
+def _check_span(record: Dict[str, Any], line: int, errors: List[str]) -> Optional[str]:
+    span_id = record.get("span_id")
+    if not isinstance(span_id, str) or not span_id:
+        errors.append(f"line {line}: span without a string span_id")
+        span_id = None
+    if not isinstance(record.get("name"), str) or not record["name"]:
+        errors.append(f"line {line}: span without a name")
+    for field in ("start", "seconds"):
+        if not isinstance(record.get(field), (int, float)):
+            errors.append(f"line {line}: span {field!r} is not a number")
+    if isinstance(record.get("seconds"), (int, float)) and record["seconds"] < 0:
+        errors.append(f"line {line}: span has negative duration")
+    if record.get("status") not in VALID_STATUS:
+        errors.append(f"line {line}: span status {record.get('status')!r} invalid")
+    parent = record.get("parent_id")
+    if parent is not None and not isinstance(parent, str):
+        errors.append(f"line {line}: span parent_id is neither null nor a string")
+    if record.get("attrs") is not None and not isinstance(record["attrs"], dict):
+        errors.append(f"line {line}: span attrs is not an object")
+    return span_id
+
+
+def _check_metric(record: Dict[str, Any], line: int, errors: List[str]) -> None:
+    if not isinstance(record.get("name"), str) or not record["name"]:
+        errors.append(f"line {line}: metric without a name")
+    kind = record.get("type")
+    if kind not in VALID_METRIC_TYPES:
+        errors.append(f"line {line}: metric type {kind!r} invalid")
+        return
+    if kind in ("counter", "gauge"):
+        if not isinstance(record.get("value"), (int, float)):
+            errors.append(f"line {line}: {kind} value is not a number")
+        return
+    buckets = record.get("buckets")
+    counts = record.get("counts")
+    if not isinstance(buckets, list) or not isinstance(counts, list):
+        errors.append(f"line {line}: histogram needs buckets and counts lists")
+        return
+    if len(counts) != len(buckets) + 1:
+        errors.append(
+            f"line {line}: histogram has {len(counts)} counts for "
+            f"{len(buckets)} buckets (want buckets+1)"
+        )
+    if list(buckets) != sorted(buckets):
+        errors.append(f"line {line}: histogram buckets are not sorted")
+    if any(not isinstance(c, int) or c < 0 for c in counts):
+        errors.append(f"line {line}: histogram counts must be non-negative ints")
+    elif record.get("count") != sum(counts):
+        errors.append(f"line {line}: histogram count does not equal sum(counts)")
+
+
+def validate_trace(path) -> List[str]:
+    """Every violation in one trace file, as human-readable strings."""
+    errors: List[str] = []
+    span_ids: List[Optional[str]] = []
+    parents: List[tuple] = []
+    metric_names: List[str] = []
+    saw_meta = False
+    line = 0
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    with handle:
+        for line, raw in enumerate(handle, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {line}: invalid JSON ({exc.msg})")
+                continue
+            if not isinstance(record, dict):
+                errors.append(f"line {line}: record is not an object")
+                continue
+            kind = record.get("record")
+            if kind == "meta":
+                if saw_meta:
+                    errors.append(f"line {line}: duplicate meta record")
+                elif line != 1 and not errors:
+                    errors.append(f"line {line}: meta record is not first")
+                saw_meta = True
+                if not isinstance(record.get("format"), int):
+                    errors.append(f"line {line}: meta record without integer format")
+                if not isinstance(record.get("trace_id"), str):
+                    errors.append(f"line {line}: meta record without a trace_id")
+            elif kind == "span":
+                span_id = _check_span(record, line, errors)
+                if span_id is not None:
+                    span_ids.append(span_id)
+                parents.append((line, record.get("parent_id")))
+            elif kind == "metric":
+                _check_metric(record, line, errors)
+                if isinstance(record.get("name"), str):
+                    metric_names.append(record["name"])
+            else:
+                errors.append(f"line {line}: unknown record type {kind!r}")
+    if line == 0:
+        errors.append("file is empty")
+    if not saw_meta:
+        errors.append("no meta record")
+    if not span_ids:
+        errors.append("trace contains no spans")
+    known = set(span_ids)
+    if len(known) != len(span_ids):
+        errors.append("duplicate span ids")
+    for at_line, parent in parents:
+        if isinstance(parent, str) and parent not in known:
+            errors.append(f"line {at_line}: parent_id {parent!r} not in this trace")
+    if len(set(metric_names)) != len(metric_names):
+        errors.append("duplicate metric names")
+    return errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m cadinterop.obs.validate",
+        description="Validate JSONL trace files emitted by cadinterop.obs",
+    )
+    parser.add_argument("files", nargs="+", help="trace files to validate")
+    args = parser.parse_args(argv)
+    failed = False
+    for path in args.files:
+        errors = validate_trace(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            from cadinterop.obs.export import read_trace
+
+            data = read_trace(path)
+            print(
+                f"{path}: OK — {len(data['spans'])} spans, "
+                f"{len(data['metrics'])} metrics, trace {data['meta'].get('trace_id')}"
+            )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -22,6 +22,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from cadinterop.common.diagnostics import Category, IssueLog, Severity
 from cadinterop.common.geometry import Point
+from cadinterop.obs import get_logger, get_tracer
 from cadinterop.pnr.cells import CellLibrary, effective_access
 from cadinterop.pnr.design import PnRDesign
 from cadinterop.pnr.dialects import PnRDialect
@@ -30,6 +31,8 @@ from cadinterop.pnr.parasitics import ParasiticReport, extract
 from cadinterop.pnr.placement import PlacementResult, RowPlacer
 from cadinterop.pnr.routing import GridRouter, RoutingResult
 from cadinterop.pnr.tech import Technology
+
+_log = get_logger("pnr.backplane")
 
 
 @dataclass
@@ -184,6 +187,11 @@ def convey(
                 tool=dialect.name,
                 remedy="expect coupling/current-density risk on this net",
             )
+    if payload.dropped:
+        _log.debug(
+            "convey to %s dropped %d intents: %s",
+            dialect.name, len(payload.dropped), ", ".join(payload.dropped),
+        )
     return payload
 
 
@@ -211,27 +219,31 @@ def run_flow(
     """Convey constraints to a dialect, then place and route honoring only
     what survived.  The measurable deltas between dialects are the paper's
     interoperability cost."""
-    log = IssueLog()
-    payload = convey(floorplan, library, dialect, log)
+    with get_tracer().span(
+        "pnr:flow", design=design.name, tool=dialect.name
+    ) as span:
+        log = IssueLog()
+        payload = convey(floorplan, library, dialect, log)
 
-    # Fresh copies of mutable placement state per run.
-    for instance in design.instances.values():
-        if instance.cell.kind == "stdcell":
-            instance.location = None
+        # Fresh copies of mutable placement state per run.
+        for instance in design.instances.values():
+            if instance.cell.kind == "stdcell":
+                instance.location = None
 
-    placer = RowPlacer(tech, floorplan, seed=seed)
-    placement = placer.place(design, pad_positions)
+        placer = RowPlacer(tech, floorplan, seed=seed)
+        placement = placer.place(design, pad_positions)
 
-    router = GridRouter(tech, floorplan, pad_positions)
-    routing = router.route_design(
-        design, honor_rules=True, honored_features=payload.honored_rule_features
-    )
-    parasitics = extract(tech, routing, router.occupancy)
-    return FlowResult(
-        tool=dialect.name,
-        placement=placement,
-        routing=routing,
-        parasitics=parasitics,
-        conveyance_log=log,
-        dropped=list(payload.dropped),
-    )
+        router = GridRouter(tech, floorplan, pad_positions)
+        routing = router.route_design(
+            design, honor_rules=True, honored_features=payload.honored_rule_features
+        )
+        parasitics = extract(tech, routing, router.occupancy)
+        span.set(dropped=len(payload.dropped))
+        return FlowResult(
+            tool=dialect.name,
+            placement=placement,
+            routing=routing,
+            parasitics=parasitics,
+            conveyance_log=log,
+            dropped=list(payload.dropped),
+        )

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from cadinterop.common.diagnostics import Category, IssueLog, Severity
+from cadinterop.obs.trace import get_tracer
 from cadinterop.schematic.busnotation import declared_buses_of, translate_net_name
 from cadinterop.schematic.connectors import (
     ConnectorReport,
@@ -97,14 +98,16 @@ def _timed_stage(
     samples: List[StageSample], observer: Optional[StageObserver], stage: str
 ) -> Iterator[StageSample]:
     sample = StageSample(stage)
-    start = time.perf_counter()
-    try:
-        yield sample
-    finally:
-        sample.seconds = time.perf_counter() - start
-        samples.append(sample)
-        if observer is not None:
-            observer(sample)
+    with get_tracer().span("migrate:" + stage) as span:
+        start = time.perf_counter()
+        try:
+            yield sample
+        finally:
+            sample.seconds = time.perf_counter() - start
+            span.set(items=sample.items)
+            samples.append(sample)
+            if observer is not None:
+                observer(sample)
 
 
 @dataclass
@@ -222,6 +225,12 @@ class Migrator:
 
     def migrate(self, source: Schematic) -> MigrationResult:
         """Translate one schematic cell; the source object is not modified."""
+        with get_tracer().span("migrate", design=source.name) as span:
+            result = self._migrate(source)
+            span.set(clean=result.clean)
+            return result
+
+    def _migrate(self, source: Schematic) -> MigrationResult:
         plan = self.plan
         log = IssueLog()
         preflight = plan.validate()

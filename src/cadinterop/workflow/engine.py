@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from cadinterop.obs import get_logger, get_metrics, get_tracer
 from cadinterop.workflow.model import (
     FlowInstance,
     FlowTemplate,
@@ -31,6 +32,8 @@ from cadinterop.workflow.model import (
     StepState,
     WorkflowError,
 )
+
+_log = get_logger("workflow.engine")
 
 
 class StepApi:
@@ -128,8 +131,13 @@ class WorkflowEngine:
     def set_variable(self, instance: FlowInstance, name: str, value: Any) -> None:
         instance.variables[name] = value
         instance.emit("variable", f"{name}={value!r}")
-        for listener in self._variable_listeners:
-            listener(instance, name, value)
+        get_metrics().counter("workflow.variable.changes").inc()
+        if self._variable_listeners:
+            with get_tracer().span(
+                "workflow:trigger", variable=name, block=instance.block
+            ):
+                for listener in self._variable_listeners:
+                    listener(instance, name, value)
 
     # -- execution -------------------------------------------------------------
 
@@ -153,29 +161,58 @@ class WorkflowEngine:
         """Execute all runnable steps in dependency order."""
         summary = RunSummary()
         roles = roles or set()
-        for step_name in instance.template.topological_order():
-            step = instance.template.step(step_name)
-            record = instance.record(step_name)
-            if record.state.terminal and record.state is not StepState.FAILED:
-                continue
-            if record.state is StepState.FAILED:
-                summary.blocked.append(step_name)
-                continue
-            if not self._start_dependencies_met(instance, step):
-                summary.blocked.append(step_name)
-                continue
-            if not self._check_permission(step, user, roles):
-                summary.skipped_permission.append(step_name)
-                instance.emit("permission-denied", f"{step_name} for user {user!r}")
-                continue
-            state = self._execute_step(instance, step, record, user, roles, summary)
-            if state is StepState.SUCCEEDED:
-                summary.succeeded.append(step_name)
-            elif state is StepState.FAILED:
-                summary.failed.append(step_name)
+        with get_tracer().span("workflow:run", block=instance.block):
+            for step_name in instance.template.topological_order():
+                step = instance.template.step(step_name)
+                record = instance.record(step_name)
+                if record.state.terminal and record.state is not StepState.FAILED:
+                    continue
+                if record.state is StepState.FAILED:
+                    summary.blocked.append(step_name)
+                    continue
+                if not self._start_dependencies_met(instance, step):
+                    summary.blocked.append(step_name)
+                    continue
+                if not self._check_permission(step, user, roles):
+                    summary.skipped_permission.append(step_name)
+                    instance.emit("permission-denied", f"{step_name} for user {user!r}")
+                    _log.info(
+                        "permission denied: %s.%s for user %r",
+                        instance.block, step_name, user,
+                    )
+                    get_metrics().counter("workflow.steps.permission_denied").inc()
+                    continue
+                state = self._execute_step(instance, step, record, user, roles, summary)
+                if state is StepState.SUCCEEDED:
+                    summary.succeeded.append(step_name)
+                elif state is StepState.FAILED:
+                    summary.failed.append(step_name)
         return summary
 
     def _execute_step(
+        self,
+        instance: FlowInstance,
+        step: StepDef,
+        record: StepRecord,
+        user: Optional[str],
+        roles: Set[str],
+        summary: RunSummary,
+    ) -> StepState:
+        metrics = get_metrics()
+        metrics.counter("workflow.steps.executed").inc()
+        with get_tracer().span(
+            "workflow:step", step=step.name, block=instance.block
+        ) as span:
+            state = self._run_step(instance, step, record, user, roles, summary)
+            span.set(state=state.value)
+        metrics.counter(f"workflow.steps.{state.value.lower()}").inc()
+        if state is StepState.FAILED:
+            _log.info(
+                "step failed: %s.%s (%s)", instance.block, step.name, record.message
+            )
+        return state
+
+    def _run_step(
         self,
         instance: FlowInstance,
         step: StepDef,

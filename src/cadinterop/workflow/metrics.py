@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from cadinterop.obs.metrics import MetricsRegistry, get_metrics
 from cadinterop.workflow.model import FlowInstance, StepState
 
 
@@ -53,6 +54,30 @@ class MetricsCollector:
                 if duration is not None:
                     metrics.total_duration += duration
                     metrics.samples += 1
+
+    def publish(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Export the aggregate into an obs metrics registry (default: the
+        globally installed one) — per-step run/failure counters plus a
+        duration histogram, so workflow health rides along in the same
+        snapshot as farm and pipeline metrics."""
+        registry = registry if registry is not None else get_metrics()
+        for metrics in self._steps.values():
+            if metrics.runs:
+                registry.counter(f"workflow.step.runs[{metrics.name}]").inc(
+                    metrics.runs
+                )
+            if metrics.failures:
+                registry.counter(f"workflow.step.failures[{metrics.name}]").inc(
+                    metrics.failures
+                )
+            if metrics.samples:
+                histogram = registry.histogram(
+                    f"workflow.step.seconds[{metrics.name}]"
+                )
+                # The collector keeps totals, not raw samples; feed the
+                # mean per sample so count and sum stay faithful.
+                for _ in range(metrics.samples):
+                    histogram.observe(metrics.mean_duration)
 
     def step(self, name: str) -> StepMetrics:
         return self._steps[name]

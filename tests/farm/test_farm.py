@@ -83,6 +83,26 @@ class TestFarmRun:
                     == ref_item.result.replacements.replacements
                 )
 
+    def test_traced_run_merges_worker_spans(self, vl_libs, plan):
+        from cadinterop.obs import disable_tracing, enable_tracing
+
+        corpus = build_corpus(vl_libs, count=3)
+        for executor in ("thread", "process"):
+            tracer = enable_tracing()
+            try:
+                report = MigrationFarm(plan, jobs=2, executor=executor).run(corpus)
+                spans = tracer.spans()
+            finally:
+                disable_tracing()
+            assert report.trace_id == tracer.trace_id
+            roots = [s for s in spans if s["parent_id"] is None]
+            assert [s["name"] for s in roots] == ["farm:run"], executor
+            migrates = [s for s in spans if s["name"] == "migrate"]
+            assert len(migrates) == len(corpus), executor
+            assert all(
+                s["parent_id"] == roots[0]["span_id"] for s in migrates
+            ), executor
+
     def test_keep_results_false_drops_payloads(self, vl_libs, plan):
         corpus = build_corpus(vl_libs, count=2)
         report = MigrationFarm(plan).run(corpus, keep_results=False)

@@ -1,0 +1,12 @@
+"""Shared fixtures: every obs test leaves the global singletons disabled."""
+
+import pytest
+
+from cadinterop.obs import disable_metrics, disable_tracing
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs_globals():
+    yield
+    disable_tracing()
+    disable_metrics()

@@ -1,0 +1,145 @@
+"""Exporters: JSONL roundtrip, tree/stats renderers, schema validation."""
+
+import json
+
+import pytest
+
+from cadinterop.obs import (
+    TRACE_FORMAT,
+    MetricsRegistry,
+    Tracer,
+    read_trace,
+    render_stats,
+    render_tree,
+    span_stats,
+    validate_trace,
+    write_trace,
+)
+from cadinterop.obs.validate import main as validate_main
+
+
+def sample_trace():
+    tracer = Tracer(trace_id="cafe0123")
+    with tracer.span("root", corpus=2):
+        with tracer.span("child-a"):
+            pass
+        with tracer.span("child-b"):
+            pass
+    registry = MetricsRegistry()
+    registry.counter("hits").inc(3)
+    registry.histogram("lat", buckets=(0.5, 1.0)).observe(0.2)
+    return tracer, registry
+
+
+class TestRoundtrip:
+    def test_write_then_read(self, tmp_path):
+        tracer, registry = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        written = write_trace(path, tracer.spans(), registry.snapshot(),
+                              trace_id=tracer.trace_id)
+        assert written == 1 + 3 + 2  # meta + spans + metrics
+        trace = read_trace(path)
+        assert trace["meta"]["trace_id"] == "cafe0123"
+        assert trace["meta"]["format"] == TRACE_FORMAT
+        assert [s["name"] for s in trace["spans"]] == ["root", "child-a", "child-b"]
+        assert trace["metrics"]["hits"]["value"] == 3
+        assert trace["metrics"]["lat"]["counts"] == [1, 0, 0]
+
+    def test_read_rejects_unknown_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"record": "mystery"}\n')
+        with pytest.raises(ValueError, match="mystery"):
+            read_trace(path)
+
+
+class TestRenderers:
+    def test_tree_shows_nesting_and_attrs(self):
+        tracer, _registry = sample_trace()
+        tree = render_tree(tracer.spans())
+        assert "3 spans" in tree.splitlines()[0]
+        assert "└─ root" in tree and "{corpus=2}" in tree
+        assert "├─ child-a" in tree and "└─ child-b" in tree
+
+    def test_tree_promotes_orphans_and_truncates(self):
+        spans = [
+            {"name": f"s{i}", "span_id": str(i), "parent_id": "missing",
+             "start": float(i), "seconds": 0.0, "status": "ok", "attrs": {}}
+            for i in range(5)
+        ]
+        tree = render_tree(spans, max_spans=3)
+        assert "s0" in tree and "truncated at 3" in tree
+        assert render_tree([]) == "(empty trace)"
+
+    def test_error_status_is_flagged(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert "[ERROR]" in render_tree(tracer.spans())
+
+    def test_span_stats_aggregates_by_name(self):
+        tracer, registry = sample_trace()
+        stats = span_stats(tracer.spans())
+        assert stats["root"][0] == 1
+        assert set(stats) == {"root", "child-a", "child-b"}
+        text = render_stats(tracer.spans(), registry.snapshot())
+        assert "root" in text and "hits" in text and "n=1" in text
+
+
+class TestValidate:
+    def write_sample(self, tmp_path):
+        tracer, registry = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, tracer.spans(), registry.snapshot(),
+                    trace_id=tracer.trace_id)
+        return path
+
+    def test_clean_trace_validates(self, tmp_path):
+        assert validate_trace(self.write_sample(tmp_path)) == []
+
+    def test_missing_file(self, tmp_path):
+        errors = validate_trace(tmp_path / "nope.jsonl")
+        assert errors and "cannot read" in errors[0]
+
+    def test_corruption_is_detected(self, tmp_path):
+        path = self.write_sample(tmp_path)
+        lines = path.read_text().splitlines()
+        # Corrupt one span: break its parent link and negate its duration.
+        record = json.loads(lines[2])
+        record["parent_id"] = "does-not-exist"
+        record["seconds"] = -1.0
+        lines[2] = json.dumps(record)
+        path.write_text("\n".join(lines) + "\n")
+        errors = validate_trace(path)
+        assert any("unresolved parent" in e or "parent" in e for e in errors)
+        assert any("negative duration" in e for e in errors)
+
+    def test_structural_violations(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            "\n".join([
+                json.dumps({"record": "span", "span_id": "a", "name": "x",
+                            "start": 1.0, "seconds": 0.1, "status": "weird"}),
+                json.dumps({"record": "span", "span_id": "a", "name": "y",
+                            "start": 2.0, "seconds": 0.1, "status": "ok"}),
+                json.dumps({"record": "metric", "name": "h", "type": "histogram",
+                            "buckets": [1.0], "counts": [1], "sum": 0.5,
+                            "count": 1}),
+                "not json",
+            ]) + "\n"
+        )
+        errors = "\n".join(validate_trace(path))
+        assert "no meta record" in errors
+        assert "duplicate span ids" in errors
+        assert "status 'weird'" in errors
+        assert "buckets+1" in errors or "counts" in errors
+        assert "invalid JSON" in errors
+
+    def test_cli_entry_point(self, tmp_path, capsys):
+        good = self.write_sample(tmp_path)
+        assert validate_main([str(good)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "3 spans" in out
+        bad = tmp_path / "empty.jsonl"
+        bad.write_text("")
+        assert validate_main([str(bad)]) == 1

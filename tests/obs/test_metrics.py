@@ -1,0 +1,129 @@
+"""Metrics registry: instruments, snapshots, merging, pickling, no-op mode."""
+
+import pickle
+
+import pytest
+
+from cadinterop.obs import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    render_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.counter("hits") is counter  # get-or-create
+
+    def test_gauge_keeps_last_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("workers")
+        gauge.set(2)
+        gauge.set(8)
+        assert gauge.value == 8
+
+    def test_histogram_buckets_and_moments(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 2, 1]  # <=0.1, <=1.0, overflow
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(6.05)
+        assert histogram.mean == pytest.approx(6.05 / 4)
+
+    def test_histogram_needs_boundaries(self):
+        with pytest.raises(ValueError, match="bucket"):
+            MetricsRegistry().histogram("empty", buckets=())
+
+    def test_kind_mismatch_is_a_type_error(self):
+        registry = MetricsRegistry()
+        registry.counter("n")
+        with pytest.raises(TypeError, match="counter"):
+            registry.gauge("n")
+        with pytest.raises(TypeError, match="counter"):
+            registry.histogram("n")
+
+
+class TestSnapshotAndMerge:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(0.5,)).observe(0.25)
+        return registry
+
+    def test_snapshot_is_plain_data(self):
+        snapshot = self.build().snapshot()
+        assert snapshot["c"] == {"type": "counter", "value": 3}
+        assert snapshot["g"] == {"type": "gauge", "value": 1.5}
+        assert snapshot["h"]["counts"] == [1, 0]
+        import json
+
+        json.dumps(snapshot)  # must be JSON-serializable as-is
+
+    def test_merge_adds_counters_and_histograms(self):
+        left, right = self.build(), self.build()
+        left.merge(right.snapshot())
+        snapshot = left.snapshot()
+        assert snapshot["c"]["value"] == 6
+        assert snapshot["h"]["count"] == 2
+        assert snapshot["g"]["value"] == 1.5  # gauges take the incoming value
+
+    def test_merge_rejects_differing_buckets(self):
+        left = MetricsRegistry()
+        left.histogram("h", buckets=(0.5,))
+        right = MetricsRegistry()
+        right.histogram("h", buckets=(0.25, 0.5)).observe(0.1)
+        with pytest.raises(ValueError, match="boundaries differ"):
+            left.merge(right.snapshot())
+
+    def test_merge_rejects_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown instrument"):
+            MetricsRegistry().merge({"x": {"type": "meter", "value": 1}})
+
+    def test_registry_survives_pickling(self):
+        clone = pickle.loads(pickle.dumps(self.build()))
+        clone.counter("c").inc()  # lock was recreated; instruments work
+        assert clone.counter("c").value == 4
+        assert clone.snapshot()["h"]["count"] == 1
+
+    def test_render_table(self):
+        table = self.build().render_table()
+        assert "c" in table and "counter" in table and "3" in table
+        assert "n=1" in table
+        assert render_metrics({}) .startswith("metric")
+
+
+class TestGlobalSingleton:
+    def test_disabled_by_default(self):
+        assert get_metrics() is NULL_METRICS
+        assert not get_metrics().enabled
+
+    def test_null_registry_is_inert(self):
+        NULL_METRICS.counter("x").inc()
+        NULL_METRICS.gauge("y").set(3)
+        NULL_METRICS.histogram("z").observe(0.1)
+        assert NULL_METRICS.snapshot() == {}
+        assert NULL_METRICS.counter("x").value == 0
+
+    def test_enable_disable_roundtrip(self):
+        registry = enable_metrics()
+        assert get_metrics() is registry
+        get_metrics().counter("seen").inc()
+        assert registry.snapshot()["seen"]["value"] == 1
+        disable_metrics()
+        assert get_metrics() is NULL_METRICS
+
+    def test_default_buckets_are_sorted_and_subsecond_heavy(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert DEFAULT_BUCKETS[0] <= 0.001 and DEFAULT_BUCKETS[-1] >= 10.0

@@ -1,0 +1,167 @@
+"""Span tracer: nesting, decorator, error capture, worker merge, no-op mode."""
+
+import pickle
+
+import pytest
+
+from cadinterop.obs import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Tracer,
+    current_span_id,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    traced,
+)
+
+
+class TestNesting:
+    def test_parent_ids_follow_lexical_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                with tracer.span("leaf") as leaf:
+                    assert leaf.parent_id == inner.span_id
+                assert current_span_id() == inner.span_id
+            assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert current_span_id() is None
+        names = [s["name"] for s in tracer.spans()]
+        assert names == ["outer", "inner", "leaf"]
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == b.parent_id == root.span_id
+
+    def test_explicit_parent_overrides_context(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("detached", parent=None) as span:
+                pass
+        assert span.parent_id is None
+
+    def test_span_ids_are_unique(self):
+        tracer = Tracer()
+        for _ in range(50):
+            with tracer.span("s"):
+                pass
+        ids = [s["span_id"] for s in tracer.spans()]
+        assert len(set(ids)) == 50
+
+    def test_attach_detach_reparents_across_contexts(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            pass
+        token = tracer.attach(root.span_id)
+        try:
+            with tracer.span("adopted") as span:
+                pass
+        finally:
+            tracer.detach(token)
+        assert span.parent_id == root.span_id
+        assert current_span_id() is None
+
+
+class TestSpanData:
+    def test_attrs_and_timing(self):
+        tracer = Tracer()
+        with tracer.span("work", kind="test") as span:
+            span.set(items=3)
+        record = tracer.spans()[0]
+        assert record["attrs"] == {"kind": "test", "items": 3}
+        assert record["seconds"] >= 0
+        assert record["start"] > 0
+        assert record["status"] == "ok"
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        record = tracer.spans()[0]
+        assert record["status"] == "error"
+        assert "ValueError: nope" in record["attrs"]["error"]
+
+    def test_decorator_uses_function_name_by_default(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        try:
+            @traced()
+            def compute():
+                return 7
+
+            @traced("custom:name", flavor="x")
+            def other():
+                return 8
+
+            assert compute() == 7 and other() == 8
+        finally:
+            disable_tracing()
+        names = {s["name"] for s in tracer.spans()}
+        # Default label is the function's __qualname__.
+        assert any(name.endswith(".compute") for name in names)
+        assert "custom:name" in names
+
+    def test_drain_empties_the_buffer(self):
+        tracer = Tracer()
+        with tracer.span("one"):
+            pass
+        drained = tracer.drain()
+        assert [s["name"] for s in drained] == ["one"]
+        assert len(tracer) == 0
+
+    def test_adopt_reroots_orphans_only(self):
+        parent = Tracer()
+        with parent.span("root") as root:
+            pass
+        child = Tracer(trace_id=parent.trace_id)
+        with child.span("worker-root"):
+            with child.span("worker-leaf"):
+                pass
+        parent.adopt(child.drain(), parent_id=root.span_id)
+        by_name = {s["name"]: s for s in parent.spans()}
+        assert by_name["worker-root"]["parent_id"] == root.span_id
+        leaf = by_name["worker-leaf"]
+        assert leaf["parent_id"] == by_name["worker-root"]["span_id"]
+
+    def test_span_dicts_are_picklable(self):
+        tracer = Tracer()
+        with tracer.span("w", design="x"):
+            pass
+        spans = tracer.drain()
+        assert pickle.loads(pickle.dumps(spans)) == spans
+
+
+class TestGlobalSingleton:
+    def test_disabled_by_default(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything", attr=1) as span:
+            assert span is NULL_SPAN
+            span.set(more=2)  # no-op, no error
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.drain() == []
+        assert current_span_id() is None
+
+    def test_enable_disable_roundtrip(self):
+        tracer = enable_tracing()
+        assert get_tracer() is tracer and tracer.enabled
+        with get_tracer().span("visible"):
+            pass
+        assert len(tracer) == 1
+        disable_tracing()
+        assert get_tracer() is NULL_TRACER
+
+    def test_enable_with_fixed_trace_id(self):
+        tracer = enable_tracing("feedbeef")
+        assert tracer.trace_id == "feedbeef"

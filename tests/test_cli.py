@@ -163,3 +163,97 @@ class TestMigrateBatch:
     def test_nonpositive_jobs_is_an_error(self, capsys):
         assert main(["migrate-batch", "--generate", "1", "--jobs", "0"]) == 2
         assert "--jobs must be >= 1" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_trace_migrate_batch_prints_tree_and_stats(self, capsys):
+        assert main(["trace", "migrate-batch", "--generate", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cli:migrate-batch" in out
+        assert "farm:run" in out and "migrate:verification" in out
+        assert "metric" in out and "farm.designs.migrated" in out
+
+    def test_trace_writes_valid_files(self, tmp_path, capsys):
+        from cadinterop.obs import read_trace, validate_trace
+
+        trace_file = tmp_path / "t.jsonl"
+        metrics_file = tmp_path / "m.json"
+        assert main(["trace", "--trace-out", str(trace_file),
+                     "--metrics-out", str(metrics_file),
+                     "migrate-batch", "--generate", "2", "--jobs", "2"]) == 0
+        capsys.readouterr()
+        assert validate_trace(trace_file) == []
+        trace = read_trace(trace_file)
+        names = [s["name"] for s in trace["spans"]]
+        assert "cli:migrate-batch" in names and "farm:run" in names
+        import json
+
+        metrics = json.loads(metrics_file.read_text())
+        assert metrics["farm.designs.migrated"]["value"] == 2
+
+    def test_trace_disables_globals_afterwards(self, capsys):
+        from cadinterop.obs import get_metrics, get_tracer
+
+        assert main(["trace", "migrate-batch", "--generate", "1"]) == 0
+        capsys.readouterr()
+        assert not get_tracer().enabled and not get_metrics().enabled
+
+    def test_trace_propagates_wrapped_exit_code(self, capsys):
+        assert main(["trace", "migrate-batch"]) == 2
+        assert "nothing to migrate" in capsys.readouterr().err
+
+    def test_trace_without_a_command_is_an_error(self, capsys):
+        assert main(["trace"]) == 2
+        assert "give a cadinterop command" in capsys.readouterr().err
+
+    def test_trace_cannot_wrap_itself(self, capsys):
+        assert main(["trace", "trace", "migrate-batch"]) == 2
+        assert "cannot wrap" in capsys.readouterr().err
+
+    def test_other_commands_traceable(self, capsys):
+        assert main(["trace", "naming", "clk", "rst"]) == 0
+        out = capsys.readouterr().out
+        assert "cli:naming" in out and "2 name(s) clean" in out
+
+
+class TestStats:
+    def test_stats_renders_a_written_trace(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.jsonl"
+        assert main(["trace", "--trace-out", str(trace_file),
+                     "migrate-batch", "--generate", "2"]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "trace " in out and "farm:run" in out and "span" in out
+
+    def test_stats_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestMigrateBatchObservability:
+    def test_trace_out_flag_enables_and_writes(self, tmp_path, capsys):
+        from cadinterop.obs import get_tracer, read_trace, validate_trace
+
+        trace_file = tmp_path / "t.jsonl"
+        assert main(["migrate-batch", "--generate", "2",
+                     "--trace-out", str(trace_file)]) == 0
+        assert "trace written" in capsys.readouterr().out
+        assert not get_tracer().enabled  # torn down after the run
+        assert validate_trace(trace_file) == []
+        names = [s["name"] for s in read_trace(trace_file)["spans"]]
+        assert "farm:run" in names and "migrate" in names
+
+    def test_metrics_out_flag_writes_snapshot(self, tmp_path, capsys):
+        import json
+
+        from cadinterop.obs import get_metrics
+
+        metrics_file = tmp_path / "m.json"
+        assert main(["migrate-batch", "--generate", "2",
+                     "--metrics-out", str(metrics_file)]) == 0
+        assert "metrics written" in capsys.readouterr().out
+        assert not get_metrics().enabled
+        snapshot = json.loads(metrics_file.read_text())
+        assert snapshot["farm.designs.migrated"]["value"] == 2
+        assert snapshot["stage.seconds[verification]"]["count"] == 2

@@ -400,3 +400,40 @@ class TestMetrics:
         assert collector.bottleneck() is not None
         report = collector.report()
         assert "flaky" in report and "bottleneck" in report
+
+    def test_publish_exports_into_obs_registry(self):
+        from cadinterop.obs import MetricsRegistry
+
+        template = FlowTemplate("t")
+        template.add_step(StepDef("build", action=py(ok_action)))
+        template.add_step(StepDef("flaky", action=py(fail_action)))
+        engine = WorkflowEngine()
+        instance = engine.instantiate(template)
+        engine.run(instance)
+
+        collector = MetricsCollector()
+        collector.collect(instance)
+        registry = MetricsRegistry()
+        collector.publish(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["workflow.step.runs[build]"]["value"] == 1
+        assert snapshot["workflow.step.failures[flaky]"]["value"] == 1
+        assert snapshot["workflow.step.seconds[build]"]["count"] == 1
+
+    def test_engine_counts_steps_when_metrics_enabled(self):
+        from cadinterop.obs import disable_metrics, enable_metrics
+
+        template = FlowTemplate("t")
+        template.add_step(StepDef("build", action=py(ok_action)))
+        template.add_step(StepDef("flaky", action=py(fail_action)))
+        engine = WorkflowEngine()
+        instance = engine.instantiate(template)
+        registry = enable_metrics()
+        try:
+            engine.run(instance)
+        finally:
+            disable_metrics()
+        snapshot = registry.snapshot()
+        assert snapshot["workflow.steps.executed"]["value"] == 2
+        assert snapshot["workflow.steps.succeeded"]["value"] == 1
+        assert snapshot["workflow.steps.failed"]["value"] == 1
