@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench rows examples farm trace checklist all clean
+.PHONY: install test bench rows examples farm trace audit checklist all clean
 
 install:
 	pip install -e .
@@ -34,6 +34,13 @@ farm:
 # Traced batch migration: span tree + stats table on stdout.
 trace:
 	$(PYTHON) -m cadinterop.cli trace migrate-batch --generate 8 --jobs 2
+
+# Provenance audit: migrate the demo corpus with lineage on, then render
+# the per-stage/per-dialect loss matrix from the emitted trace.
+audit:
+	$(PYTHON) -m cadinterop.cli migrate-batch --generate 8 --jobs 2 \
+		--lineage-out lineage.jsonl
+	$(PYTHON) -m cadinterop.cli audit lineage.jsonl
 
 checklist:
 	$(PYTHON) -m cadinterop.cli checklist --scenario full-asic

@@ -15,17 +15,25 @@ Subcommands
     Check a naming convention over a list of identifiers.
 ``cadinterop migrate-batch [PATH ...] [--generate N] [--jobs N]
 [--cache-dir DIR] [--profile] [--out DIR] [--trace-out FILE]
-[--metrics-out FILE]``
+[--metrics-out FILE] [--lineage-out FILE]``
     Batch-migrate a corpus of Viewdraw-like schematics (``.vl`` files,
     directories of them, and/or a generated synthetic corpus) onto the
     Composer-like libraries through the migration farm: parallel workers,
-    content-hash result caching, per-stage profiling.
+    content-hash result caching, per-stage profiling.  ``--lineage-out``
+    records per-object provenance, prints the loss report, and writes a
+    format-2 JSONL trace carrying the lineage records.
 ``cadinterop trace [--trace-out FILE] [--metrics-out FILE] CMD [ARG ...]``
-    Run any other subcommand with the observability layer enabled; print
-    the span tree and flat stats afterwards, optionally writing the JSONL
-    trace and a metrics snapshot to files.
-``cadinterop stats FILE``
-    Pretty-print a JSONL trace file written by ``trace``/``migrate-batch``.
+    Run any other subcommand with the observability layer (tracing,
+    metrics, lineage) enabled; print the span tree and flat stats
+    afterwards, optionally writing the JSONL trace and a metrics snapshot
+    to files.
+``cadinterop stats FILE [FILE ...]``
+    Pretty-print JSONL trace files written by ``trace``/``migrate-batch``;
+    several files (or a shell glob) merge their metrics and span stats.
+``cadinterop audit TRACE.jsonl [TRACE.jsonl ...] [--json] [--top N]``
+    Aggregate the lineage records of one or more traces into the
+    semantic-loss report: per-stage and per-dialect loss matrices plus
+    the top lossy designs.
 """
 
 from __future__ import annotations
@@ -145,34 +153,52 @@ def _cmd_migrate_batch(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from cadinterop.obs import (
+        disable_lineage,
         disable_metrics,
         disable_tracing,
+        enable_lineage,
         enable_metrics,
         enable_tracing,
+        get_lineage,
         get_metrics,
         get_tracer,
         write_trace,
     )
 
-    # --trace-out / --metrics-out imply observability even without the
-    # `trace` wrapper; only own (and later tear down) what we enabled here.
+    # --trace-out / --metrics-out / --lineage-out imply observability even
+    # without the `trace` wrapper; only own (and later tear down) what we
+    # enabled here.  Lineage without tracing would leave records unlinked,
+    # so --lineage-out turns the tracer on too.
     own_tracer = False
     own_metrics = False
-    if args.trace_out and not get_tracer().enabled:
+    own_lineage = False
+    if args.lineage_out and not get_lineage().enabled:
+        enable_lineage()
+        own_lineage = True
+    if (args.trace_out or args.lineage_out) and not get_tracer().enabled:
         enable_tracing()
         own_tracer = True
-    if (args.trace_out or args.metrics_out) and not get_metrics().enabled:
+    if (
+        args.trace_out or args.metrics_out or args.lineage_out
+    ) and not get_metrics().enabled:
         enable_metrics()
         own_metrics = True
     try:
         code = _run_migrate_batch(args)
         tracer = get_tracer()
+        lineage = get_lineage().records()
         if args.trace_out and tracer.enabled:
             write_trace(
                 args.trace_out, tracer.spans(), get_metrics().snapshot(),
-                trace_id=tracer.trace_id,
+                trace_id=tracer.trace_id, lineage=lineage,
             )
             print(f"trace written to {args.trace_out}")
+        if args.lineage_out and args.lineage_out != args.trace_out:
+            write_trace(
+                args.lineage_out, tracer.spans(), get_metrics().snapshot(),
+                trace_id=tracer.trace_id, lineage=lineage,
+            )
+            print(f"lineage trace written to {args.lineage_out}")
         if args.metrics_out and get_metrics().enabled:
             Path(args.metrics_out).write_text(
                 json.dumps(get_metrics().snapshot(), indent=2, sort_keys=True) + "\n"
@@ -184,6 +210,8 @@ def _cmd_migrate_batch(args: argparse.Namespace) -> int:
             disable_tracing()
         if own_metrics:
             disable_metrics()
+        if own_lineage:
+            disable_lineage()
 
 
 def _run_migrate_batch(args: argparse.Namespace) -> int:
@@ -218,11 +246,15 @@ def _run_migrate_batch(args: argparse.Namespace) -> int:
                 print(f"cannot load {file}: {exc}", file=sys.stderr)
                 return 2
     # Synthetic corpus designs (for demos and cache warm-up experiments).
-    shapes = [(1, 2, 3), (2, 2, 4), (1, 3, 5), (2, 4, 4)]
+    # The last field is how many wire-label anchors sit off-grid, so part
+    # of the corpus exercises the snap/approximation path like hand-edited
+    # real-world schematics do.
+    shapes = [(1, 2, 3, 0), (2, 2, 4, 1), (1, 3, 5, 0), (2, 4, 4, 2)]
     for index in range(args.generate):
-        pages, chains, stages = shapes[index % len(shapes)]
+        pages, chains, stages, offgrid = shapes[index % len(shapes)]
         cell = generate_chain_schematic(
-            libraries, pages=pages, chains_per_page=chains, stages=stages, seed=index
+            libraries, pages=pages, chains_per_page=chains, stages=stages,
+            seed=index, offgrid_labels=offgrid,
         )
         cell.name = f"gen{index:03d}_{cell.name}"
         designs.append(cell)
@@ -243,6 +275,9 @@ def _run_migrate_batch(args: argparse.Namespace) -> int:
         print(report.render(per_design=True))
     else:
         print(report.summary())
+    if report.loss is not None and report.loss.total:
+        print()
+        print(report.loss.render())
 
     if args.out:
         out_dir = Path(args.out)
@@ -259,8 +294,10 @@ def _run_migrate_batch(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from cadinterop.obs import (
+        disable_lineage,
         disable_metrics,
         disable_tracing,
+        enable_lineage,
         enable_metrics,
         enable_tracing,
         render_stats,
@@ -281,18 +318,26 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     tracer = enable_tracing()
     metrics = enable_metrics()
+    recorder = enable_lineage()
     try:
         with tracer.span("cli:" + rest[0], argv=" ".join(rest)) as span:
             code = main(rest)
             span.set(exit_code=code)
         spans = tracer.spans()
         snapshot = metrics.snapshot()
+        lineage = recorder.records()
         print()
         print(render_tree(spans))
         print()
         print(render_stats(spans, snapshot))
+        if lineage:
+            print()
+            print(f"lineage: {len(lineage)} records "
+                  "(write --trace-out and run `cadinterop audit` for the "
+                  "loss matrix)")
         if args.trace_out:
-            write_trace(args.trace_out, spans, snapshot, trace_id=tracer.trace_id)
+            write_trace(args.trace_out, spans, snapshot,
+                        trace_id=tracer.trace_id, lineage=lineage)
             print(f"trace written to {args.trace_out}")
         if args.metrics_out:
             import json
@@ -305,23 +350,78 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     finally:
         disable_tracing()
         disable_metrics()
+        disable_lineage()
+
+
+def _expand_trace_paths(patterns: Sequence[str]) -> List[str]:
+    """Expand shell-style globs (for shells that do not) and keep order."""
+    import glob as globmod
+
+    paths: List[str] = []
+    for pattern in patterns:
+        if any(ch in pattern for ch in "*?["):
+            matched = sorted(globmod.glob(pattern))
+            if not matched:
+                paths.append(pattern)  # let read_trace report the miss
+            paths.extend(matched)
+        else:
+            paths.append(pattern)
+    return paths
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from cadinterop.obs import read_trace, render_stats, render_tree
+    from cadinterop.obs import (
+        MetricsRegistry,
+        read_trace,
+        render_stats,
+        render_tree,
+    )
 
-    try:
-        trace = read_trace(args.file)
-    except (OSError, ValueError) as exc:
-        print(f"cannot read trace {args.file}: {exc}", file=sys.stderr)
-        return 2
-    meta = trace["meta"]
-    if meta.get("trace_id"):
-        print(f"trace {meta['trace_id']} ({args.file})")
+    paths = _expand_trace_paths(args.files)
+    merged = MetricsRegistry()
+    all_spans: List[dict] = []
+    lineage_total = 0
+    for path in paths:
+        try:
+            trace = read_trace(path)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read trace {path}: {exc}", file=sys.stderr)
+            return 2
+        all_spans.extend(trace["spans"])
+        lineage_total += len(trace["lineage"])
+        merged.merge(trace["metrics"])
+        meta = trace["meta"]
+        if meta.get("trace_id"):
+            print(f"trace {meta['trace_id']} ({path})")
+    if len(paths) == 1:
         print()
-    print(render_tree(trace["spans"]))
+        print(render_tree(all_spans))
     print()
-    print(render_stats(trace["spans"], trace["metrics"]))
+    print(render_stats(all_spans, merged.snapshot()))
+    if lineage_total:
+        print()
+        print(f"lineage: {lineage_total} records — "
+              "run `cadinterop audit` for the loss matrix")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import json
+
+    from cadinterop.obs import LossReport, read_trace
+
+    report = LossReport()
+    for path in _expand_trace_paths(args.files):
+        try:
+            trace = read_trace(path)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read trace {path}: {exc}", file=sys.stderr)
+            return 2
+        report.merge(LossReport.from_records(trace["lineage"]))
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render(top_designs=args.top))
     return 0
 
 
@@ -374,6 +474,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable tracing and write a JSONL trace to FILE")
     batch.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="enable metrics and write a JSON snapshot to FILE")
+    batch.add_argument("--lineage-out", default=None, metavar="FILE",
+                       help="record per-object provenance, print the loss "
+                            "report, and write a format-2 JSONL trace to FILE")
     batch.set_defaults(fn=_cmd_migrate_batch)
 
     trace = commands.add_parser(
@@ -387,9 +490,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="the cadinterop command to run under tracing")
     trace.set_defaults(fn=_cmd_trace)
 
-    stats = commands.add_parser("stats", help="pretty-print a JSONL trace file")
-    stats.add_argument("file")
+    stats = commands.add_parser("stats", help="pretty-print JSONL trace files")
+    stats.add_argument("files", nargs="+",
+                       help="trace files (globs accepted); several files "
+                            "merge their metrics and span stats")
     stats.set_defaults(fn=_cmd_stats)
+
+    audit = commands.add_parser(
+        "audit", help="semantic-loss report from the lineage records of traces"
+    )
+    audit.add_argument("files", nargs="+",
+                       help="format-2 trace files (globs accepted)")
+    audit.add_argument("--json", action="store_true",
+                       help="emit the report as JSON instead of text")
+    audit.add_argument("--top", type=int, default=5, metavar="N",
+                       help="how many lossy designs to list (default 5)")
+    audit.set_defaults(fn=_cmd_audit)
 
     return parser
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from cadinterop.farm.profiler import StageProfiler
+from cadinterop.obs.lineage import LossReport
 from cadinterop.schematic.migrate import MigrationResult
 
 
@@ -47,6 +48,9 @@ class FarmReport:
     metrics: Dict[str, dict] = field(default_factory=dict)
     #: Trace id of the run when tracing was enabled, else None.
     trace_id: Optional[str] = None
+    #: Per-stage/per-design/per-dialect provenance roll-up of the run, when
+    #: lineage recording was enabled (:func:`cadinterop.obs.enable_lineage`).
+    loss: Optional[LossReport] = None
 
     @property
     def clean(self) -> int:
@@ -89,4 +93,7 @@ class FarmReport:
         if counters:
             lines.append("")
             lines.append("counters: " + "  ".join(f"{n}={v}" for n, v in counters))
+        if self.loss is not None and self.loss.total:
+            lines.append("")
+            lines.append(self.loss.summary())
         return "\n".join(lines)

@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from cadinterop.farm.cache import ResultCache, cache_key
 from cadinterop.farm.profiler import StageProfiler
 from cadinterop.farm.report import FarmItem, FarmReport
+from cadinterop.obs.lineage import LossReport, enable_lineage, get_lineage
 from cadinterop.obs.metrics import MetricsRegistry, get_metrics
 from cadinterop.obs.trace import enable_tracing, get_tracer
 from cadinterop.schematic.migrate import (
@@ -46,9 +47,11 @@ from cadinterop.schematic.verify import NetlistCache
 #: A unit of work shipped to a worker: (corpus index, schematic).
 _Task = Tuple[int, Schematic]
 #: What a worker sends back: (corpus index, result or None, error or None,
-#: seconds spent migrating measured inside the worker, and the spans the
-#: worker's tracer recorded for this task — empty when tracing is off).
-_Outcome = Tuple[int, Optional[MigrationResult], Optional[str], float, list]
+#: seconds spent migrating measured inside the worker, the spans the
+#: worker's tracer recorded for this task, and the lineage records the
+#: worker's recorder buffered — both empty when the facility is off or the
+#: worker shares the submitting side's collector (inline/thread executors).
+_Outcome = Tuple[int, Optional[MigrationResult], Optional[str], float, list, list]
 
 # Per-process worker state for the process-pool executor.  Each worker
 # builds one Migrator at pool start (plan arrives once via the initializer,
@@ -56,27 +59,39 @@ _Outcome = Tuple[int, Optional[MigrationResult], Optional[str], float, list]
 _WORKER_MIGRATOR: Optional[Migrator] = None
 
 
-def _process_worker_init(plan: MigrationPlan, trace_id: Optional[str] = None) -> None:
+def _process_worker_init(
+    plan: MigrationPlan,
+    trace_id: Optional[str] = None,
+    lineage: bool = False,
+) -> None:
     global _WORKER_MIGRATOR
     _WORKER_MIGRATOR = Migrator(plan, netlist_cache=NetlistCache())
     if trace_id is not None:
         # Join the parent's trace: this worker's spans carry the same trace
         # id and are shipped back (and re-parented) with each outcome.
         enable_tracing(trace_id)
+    if lineage:
+        # Same pattern for provenance: the worker buffers lineage records
+        # locally and ships them back (adopted) with each outcome.
+        enable_lineage()
 
 
 def _process_worker_migrate(task: _Task) -> _Outcome:
     index, schematic = task
     assert _WORKER_MIGRATOR is not None, "worker used before initialization"
     tracer = get_tracer()
+    recorder = get_lineage()
     start = time.perf_counter()
     try:
         result = _WORKER_MIGRATOR.migrate(schematic)
-        return index, result, None, time.perf_counter() - start, tracer.drain()
+        return (
+            index, result, None, time.perf_counter() - start,
+            tracer.drain(), recorder.drain(),
+        )
     except Exception as exc:  # a bad design must not kill the corpus
         return (
             index, None, f"{type(exc).__name__}: {exc}",
-            time.perf_counter() - start, tracer.drain(),
+            time.perf_counter() - start, tracer.drain(), recorder.drain(),
         )
 
 
@@ -126,6 +141,13 @@ class MigrationFarm:
 
     def _run(self, designs, keep_results, tracer, run_span) -> FarmReport:
         started = time.perf_counter()
+        recorder = get_lineage()
+        # Records emitted before this run (same recorder, earlier work)
+        # must not leak into this run's loss report.
+        lineage_mark = len(recorder)
+        dialect_pair = (
+            f"{self.plan.source_dialect.name}->{self.plan.target_dialect.name}"
+        )
         registry = MetricsRegistry()
         profiler = StageProfiler(registry=registry)
         report = FarmReport(
@@ -165,14 +187,25 @@ class MigrationFarm:
                         item.seconds = elapsed
                         item.result = hit if keep_results else None
                         report.cached += 1
+                        recorder.record(
+                            "design", design.name, "farm:cache", "preserved",
+                            detail="served unchanged from result cache",
+                            design=design.name, dialect=dialect_pair,
+                        )
                         continue
                 pending.append((index, design))
 
-        for index, result, error, seconds, spans in self._execute(pending, run_span):
+        for index, result, error, seconds, spans, lineage in self._execute(
+            pending, run_span
+        ):
             if spans:
                 # Worker-side spans (process executor): re-root them under
                 # this run so the merged trace stays one tree.
                 tracer.adopt(spans, parent_id=run_span.span_id)
+            if lineage:
+                # Worker-side lineage records merge the same way; their
+                # span links stay valid because the spans were adopted too.
+                recorder.adopt(lineage)
             item = report.items[index]
             item.seconds = seconds
             if result is None:
@@ -208,6 +241,10 @@ class MigrationFarm:
             ):
                 if value:
                     registry.counter(name).inc(value)
+        if recorder.enabled:
+            report.loss = LossReport.from_records(
+                recorder.records()[lineage_mark:]
+            )
         report.wall_seconds = time.perf_counter() - started
         report.metrics = registry.snapshot()
         # Roll this run up into the globally installed registry (no-op
@@ -235,7 +272,7 @@ class MigrationFarm:
                 result, error = migrator.migrate(design), None
             except Exception as exc:
                 result, error = None, f"{type(exc).__name__}: {exc}"
-            outcomes.append((index, result, error, time.perf_counter() - t0, []))
+            outcomes.append((index, result, error, time.perf_counter() - t0, [], []))
         return outcomes
 
     def _execute_processes(self, tasks: List[_Task]) -> List[_Outcome]:
@@ -244,7 +281,11 @@ class MigrationFarm:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=workers,
             initializer=_process_worker_init,
-            initargs=(self.plan, tracer.trace_id if tracer.enabled else None),
+            initargs=(
+                self.plan,
+                tracer.trace_id if tracer.enabled else None,
+                get_lineage().enabled,
+            ),
         ) as pool:
             chunksize = max(1, len(tasks) // (workers * 4))
             return list(
@@ -270,7 +311,7 @@ class MigrationFarm:
             finally:
                 if token is not None:
                     tracer.detach(token)
-            return index, result, error, time.perf_counter() - t0, []
+            return index, result, error, time.perf_counter() - t0, [], []
 
         with concurrent.futures.ThreadPoolExecutor(
             max_workers=min(self.jobs, len(tasks))

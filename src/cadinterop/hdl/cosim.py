@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from cadinterop.hdl.ast_nodes import HDLError, Module
 from cadinterop.hdl.logic import naive_to4, to4, to9
 from cadinterop.hdl.simulator import FIFO, OrderingPolicy, Simulator
-from cadinterop.obs import get_metrics, get_tracer
+from cadinterop.obs import get_lineage, get_metrics, get_tracer
 
 
 @dataclass(frozen=True)
@@ -88,10 +88,24 @@ class CoSimulation:
         """Copy boundary values across; True if anything changed."""
         self.exchanges += 1
         changed = False
+        lineage = get_lineage()
         for signal in self.bridge:
             source_sim = self._side(signal.source_side)
             target_sim = self._other(signal.source_side)
-            value = self._convert(source_sim.values[signal.source])
+            raw = source_sim.values[signal.source]
+            value = self._convert(raw)
+            if value != raw and lineage.enabled:
+                # A boundary coercion happened: lossless projection between
+                # the value sets is a transform, the naive shortcut diverging
+                # from the correct projection weakens semantics.
+                verb = (
+                    "transformed" if value == _correct_convert(raw)
+                    else "approximated"
+                )
+                lineage.record(
+                    "signal", f"{signal.source}->{signal.target}",
+                    "cosim:exchange", verb, detail=f"{raw} -> {value}",
+                )
             if target_sim.values[signal.target] != value:
                 target_sim.set_signal(signal.target, value)
                 changed = True
@@ -113,7 +127,9 @@ class CoSimulation:
             right=self.right.module.name,
             until=until,
             aligned=self.aligned,
-        ) as span:
+        ) as span, get_lineage().context(
+            design=f"{self.left.module.name}+{self.right.module.name}"
+        ):
             # Time zero settle + initial exchange.
             self.left.run(0)
             self.right.run(0)

@@ -9,6 +9,10 @@ gives every pipeline in the reproduction one way to report what it did:
   merge; off by default via a no-op singleton tracer;
 * :mod:`~cadinterop.obs.metrics` — counters, gauges, fixed-bucket
   histograms with mergeable plain-dict snapshots;
+* :mod:`~cadinterop.obs.lineage` — per-object provenance records at tool
+  boundaries (preserved / transformed / approximated / dropped /
+  synthesized) with a :class:`~cadinterop.obs.lineage.LossReport`
+  aggregator behind ``cadinterop audit``;
 * :mod:`~cadinterop.obs.logger` — ``get_logger(name)``, stamping the
   current trace/span ids onto every record;
 * :mod:`~cadinterop.obs.export` — JSONL trace files, span-tree and flat
@@ -24,6 +28,7 @@ from the shell via ``cadinterop trace <cmd> ...`` and ``cadinterop stats``.
 """
 
 from cadinterop.obs.export import (
+    READABLE_FORMATS,
     TRACE_FORMAT,
     read_trace,
     render_stats,
@@ -31,6 +36,18 @@ from cadinterop.obs.export import (
     span_stats,
     trace_records,
     write_trace,
+)
+from cadinterop.obs.lineage import (
+    LOSS_VERBS,
+    NULL_LINEAGE,
+    VERBS,
+    LineageRecorder,
+    LossReport,
+    NullLineage,
+    disable_lineage,
+    enable_lineage,
+    get_lineage,
+    set_lineage,
 )
 from cadinterop.obs.logger import SpanContextFilter, get_logger
 from cadinterop.obs.metrics import (
@@ -76,25 +93,36 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "LOSS_VERBS",
+    "LineageRecorder",
+    "LossReport",
     "MetricsRegistry",
+    "NULL_LINEAGE",
     "NULL_METRICS",
     "NULL_SPAN",
     "NULL_TRACER",
+    "NullLineage",
     "NullMetrics",
     "NullTracer",
+    "READABLE_FORMATS",
     "Span",
     "SpanContextFilter",
     "TRACE_FORMAT",
     "Tracer",
+    "VERBS",
     "current_span_id",
+    "disable_lineage",
     "disable_metrics",
     "disable_tracing",
+    "enable_lineage",
     "enable_metrics",
     "enable_tracing",
+    "get_lineage",
     "get_logger",
     "get_metrics",
     "get_tracer",
     "read_trace",
+    "set_lineage",
     "render_metrics",
     "render_stats",
     "render_tree",

@@ -1,9 +1,18 @@
 """Exporters for traces and metrics: JSONL file, span tree, stats tables.
 
 One trace file is JSON Lines: a ``meta`` record first, then one ``span``
-record per finished span, then one ``metric`` record per instrument.
-Everything is primitives, so any log pipeline (or ``cadinterop stats``)
-can consume it; :mod:`cadinterop.obs.validate` checks the contract.
+record per finished span, one ``lineage`` record per provenance event
+(format 2), then one ``metric`` record per instrument.  Everything is
+primitives, so any log pipeline (or ``cadinterop stats``/``audit``) can
+consume it; :mod:`cadinterop.obs.validate` checks the contract.
+
+Format history:
+
+* **1** — meta + span + metric records.
+* **2** — adds ``lineage`` records (:mod:`cadinterop.obs.lineage`); span
+  attributes are sanitized to primitives at span-finish time, so the
+  writer no longer stringifies values on the way out.  Format-1 files
+  still read (their ``lineage`` list is simply empty).
 """
 
 from __future__ import annotations
@@ -14,7 +23,10 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from cadinterop.obs.metrics import render_metrics
 
 #: Format version stamped into every trace file's meta record.
-TRACE_FORMAT = 1
+TRACE_FORMAT = 2
+
+#: Format versions :func:`read_trace` knows how to parse.
+READABLE_FORMATS = (1, 2)
 
 
 def trace_records(
@@ -22,14 +34,18 @@ def trace_records(
     metrics: Optional[Dict[str, Dict[str, Any]]] = None,
     trace_id: Optional[str] = None,
     meta: Optional[Dict[str, Any]] = None,
+    lineage: Optional[Iterable[Dict[str, Any]]] = None,
 ) -> List[Dict[str, Any]]:
-    """The record stream a trace file is made of (meta, spans, metrics)."""
+    """The record stream a trace file is made of (meta, spans, lineage,
+    metrics)."""
     records: List[Dict[str, Any]] = [
         {"record": "meta", "format": TRACE_FORMAT, "trace_id": trace_id or "",
          **(meta or {})}
     ]
     for span in spans:
         records.append({"record": "span", **span})
+    for entry in (lineage or ()):
+        records.append({"record": "lineage", **entry})
     for name, data in sorted((metrics or {}).items()):
         records.append({"record": "metric", "name": name, **data})
     return records
@@ -41,38 +57,67 @@ def write_trace(
     metrics: Optional[Dict[str, Dict[str, Any]]] = None,
     trace_id: Optional[str] = None,
     meta: Optional[Dict[str, Any]] = None,
+    lineage: Optional[Iterable[Dict[str, Any]]] = None,
 ) -> int:
-    """Write a JSONL trace file; returns the number of records written."""
-    records = trace_records(spans, metrics, trace_id, meta)
+    """Write a JSONL trace file; returns the number of records written.
+
+    Records must already be primitives (spans sanitize their attributes at
+    finish time) — a non-serializable value raises instead of being
+    silently stringified.
+    """
+    records = trace_records(spans, metrics, trace_id, meta, lineage)
     with open(path, "w", encoding="utf-8") as handle:
         for record in records:
-            handle.write(json.dumps(record, sort_keys=True, default=str))
+            handle.write(json.dumps(record, sort_keys=True))
             handle.write("\n")
     return len(records)
 
 
 def read_trace(path) -> Dict[str, Any]:
-    """Parse a JSONL trace file into ``{"meta", "spans", "metrics"}``."""
+    """Parse a JSONL trace file into ``{"meta", "spans", "lineage",
+    "metrics"}``.
+
+    Reads every format in :data:`READABLE_FORMATS` (format-1 files simply
+    have no lineage records); raises :class:`ValueError` naming the line
+    for truncated/corrupt JSON, unknown record types, and meta records
+    declaring a format this reader does not know.
+    """
     meta: Dict[str, Any] = {}
     spans: List[Dict[str, Any]] = []
+    lineage: List[Dict[str, Any]] = []
     metrics: Dict[str, Dict[str, Any]] = {}
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"line {number}: invalid JSON ({exc.msg}) — truncated file?"
+                ) from exc
+            if not isinstance(record, dict):
+                raise ValueError(f"line {number}: record is not an object")
             kind = record.pop("record", None)
             if kind == "meta":
+                version = record.get("format")
+                if version not in READABLE_FORMATS:
+                    raise ValueError(
+                        f"line {number}: unsupported trace format {version!r} "
+                        f"(this reader understands {READABLE_FORMATS})"
+                    )
                 meta = record
             elif kind == "span":
                 spans.append(record)
+            elif kind == "lineage":
+                lineage.append(record)
             elif kind == "metric":
                 metrics[record.pop("name")] = record
             else:
-                raise ValueError(f"unknown trace record type {kind!r}")
+                raise ValueError(f"line {number}: unknown trace record type {kind!r}")
     spans.sort(key=lambda span: span.get("start", 0.0))
-    return {"meta": meta, "spans": spans, "metrics": metrics}
+    return {"meta": meta, "spans": spans, "lineage": lineage, "metrics": metrics}
 
 
 # ---------------------------------------------------------------------------

@@ -23,6 +23,7 @@ Design rules:
 from __future__ import annotations
 
 import threading
+import time
 from bisect import bisect_right
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -64,24 +65,38 @@ class Counter(_Instrument):
 
 
 class Gauge(_Instrument):
-    """Last-written value (e.g. corpus size, worker count)."""
+    """Last-written value (e.g. corpus size, worker count).
+
+    Every ``set`` stamps a monotonic sequence (``time.monotonic_ns``,
+    strictly increased within the process) and snapshots carry it, so
+    :meth:`merge` keeps the *newest* write instead of the last snapshot
+    merged — worker roll-up no longer depends on pool join order.
+    """
 
     kind = "gauge"
 
     def __init__(self, name: str, lock: threading.Lock) -> None:
         self.name = name
         self.value = 0.0
+        self.seq = 0
         self._lock = lock
 
     def set(self, value: float) -> None:
         with self._lock:
             self.value = value
+            self.seq = max(time.monotonic_ns(), self.seq + 1)
 
     def snapshot(self) -> Dict[str, Any]:
-        return {"type": "gauge", "value": self.value}
+        return {"type": "gauge", "value": self.value, "seq": self.seq}
 
     def merge(self, data: Dict[str, Any]) -> None:
-        self.set(data["value"])
+        # Pre-seq snapshots (format-1 trace files) carry no stamp; treat
+        # them as "as old as possible" so any local write wins over them.
+        seq = data.get("seq", 0)
+        with self._lock:
+            if seq >= self.seq:
+                self.value = data["value"]
+                self.seq = seq
 
 
 class Histogram(_Instrument):

@@ -39,6 +39,22 @@ _IDS = itertools.count(1)
 #: Sentinel distinguishing "no parent given" from "explicitly parentless".
 _UNSET = object()
 
+#: Attribute value types that survive span finish untouched; anything else
+#: is stringified *at finish time* so the exported trace never depends on
+#: ``json.dumps`` fallbacks silently rewriting attributes on the way out.
+_PRIMITIVE_ATTRS = (str, int, float, bool, type(None))
+
+
+def sanitize_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """Coerce a span's attributes to JSON primitives (non-str keys and
+    non-primitive values become their ``str()`` forms, explicitly)."""
+    clean: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if not isinstance(key, str):
+            key = str(key)
+        clean[key] = value if isinstance(value, _PRIMITIVE_ATTRS) else str(value)
+    return clean
+
 
 def _new_span_id() -> str:
     """Process-unique monotonic id (pid-prefixed so pools cannot collide)."""
@@ -108,7 +124,7 @@ class Span:
             "start": self.start,
             "seconds": self.seconds,
             "status": self.status,
-            "attrs": self.attrs,
+            "attrs": sanitize_attrs(self.attrs),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

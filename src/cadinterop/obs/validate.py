@@ -4,15 +4,23 @@ Usage: ``python -m cadinterop.obs.validate TRACE.jsonl [...]`` — exits 0
 when every file honors the trace contract, 1 otherwise (printing one line
 per violation).  CI runs this against a trace produced by
 ``cadinterop.cli trace migrate-batch`` so the exporter, the worker span
-merge, and this schema can never drift apart silently.
+merge, the lineage recorder, and this schema can never drift apart
+silently.
 
 The contract (see :mod:`cadinterop.obs.export`):
 
-* line 1 is a ``meta`` record with ``format`` and a ``trace_id``;
+* line 1 is a ``meta`` record with a known integer ``format`` (1 or 2)
+  and a ``trace_id``;
 * every ``span`` record has a unique string ``span_id``, a ``name``,
   numeric ``start``/``seconds`` (``seconds >= 0``), a ``status`` of
-  ``ok``/``error``, and a ``parent_id`` that is null or resolves to
-  another span in the same file;
+  ``ok``/``error``, a ``parent_id`` that is null or resolves to another
+  span in the same file, and attributes whose values are JSON primitives
+  (spans sanitize at finish time; a list/object attr means a producer
+  bypassed that);
+* every ``lineage`` record (format 2) has string ``object_kind`` /
+  ``object_id`` / ``stage``, a ``verb`` from the closed provenance set,
+  a string ``detail``, and a ``span_id`` that is null or resolves to a
+  span in the same file;
 * every ``metric`` record has a ``name`` and a counter/gauge/histogram
   payload whose fields are mutually consistent (histogram ``counts`` has
   one more entry than ``buckets``; totals add up).
@@ -25,8 +33,15 @@ import json
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
+from cadinterop.obs.lineage import VERBS
+
 VALID_STATUS = ("ok", "error")
 VALID_METRIC_TYPES = ("counter", "gauge", "histogram")
+VALID_FORMATS = (1, 2)
+
+#: JSON-primitive attribute values; anything else should have been
+#: sanitized away when the span finished.
+_PRIMITIVES = (str, int, float, bool, type(None))
 
 
 def _check_span(record: Dict[str, Any], line: int, errors: List[str]) -> Optional[str]:
@@ -46,9 +61,37 @@ def _check_span(record: Dict[str, Any], line: int, errors: List[str]) -> Optiona
     parent = record.get("parent_id")
     if parent is not None and not isinstance(parent, str):
         errors.append(f"line {line}: span parent_id is neither null nor a string")
-    if record.get("attrs") is not None and not isinstance(record["attrs"], dict):
+    attrs = record.get("attrs")
+    if attrs is not None and not isinstance(attrs, dict):
         errors.append(f"line {line}: span attrs is not an object")
+    elif isinstance(attrs, dict):
+        for key, value in attrs.items():
+            if not isinstance(value, _PRIMITIVES):
+                errors.append(
+                    f"line {line}: span attr {key!r} is not a primitive "
+                    f"({type(value).__name__}); sanitize at span finish"
+                )
     return span_id
+
+
+def _check_lineage(record: Dict[str, Any], line: int, errors: List[str]) -> None:
+    for field in ("object_kind", "object_id", "stage"):
+        if not isinstance(record.get(field), str) or not record[field]:
+            errors.append(f"line {line}: lineage record without a string {field}")
+    if record.get("verb") not in VERBS:
+        errors.append(
+            f"line {line}: lineage verb {record.get('verb')!r} invalid "
+            f"(expected one of {', '.join(VERBS)})"
+        )
+    if not isinstance(record.get("detail", ""), str):
+        errors.append(f"line {line}: lineage detail is not a string")
+    span = record.get("span_id")
+    if span is not None and not isinstance(span, str):
+        errors.append(f"line {line}: lineage span_id is neither null nor a string")
+    for field in ("design", "dialect"):
+        value = record.get(field)
+        if value is not None and not isinstance(value, str):
+            errors.append(f"line {line}: lineage {field} is neither null nor a string")
 
 
 def _check_metric(record: Dict[str, Any], line: int, errors: List[str]) -> None:
@@ -85,6 +128,7 @@ def validate_trace(path) -> List[str]:
     errors: List[str] = []
     span_ids: List[Optional[str]] = []
     parents: List[tuple] = []
+    lineage_links: List[tuple] = []
     metric_names: List[str] = []
     saw_meta = False
     line = 0
@@ -112,8 +156,14 @@ def validate_trace(path) -> List[str]:
                 elif line != 1 and not errors:
                     errors.append(f"line {line}: meta record is not first")
                 saw_meta = True
-                if not isinstance(record.get("format"), int):
+                version = record.get("format")
+                if not isinstance(version, int):
                     errors.append(f"line {line}: meta record without integer format")
+                elif version not in VALID_FORMATS:
+                    errors.append(
+                        f"line {line}: unknown trace format {version} "
+                        f"(expected one of {VALID_FORMATS})"
+                    )
                 if not isinstance(record.get("trace_id"), str):
                     errors.append(f"line {line}: meta record without a trace_id")
             elif kind == "span":
@@ -121,6 +171,9 @@ def validate_trace(path) -> List[str]:
                 if span_id is not None:
                     span_ids.append(span_id)
                 parents.append((line, record.get("parent_id")))
+            elif kind == "lineage":
+                _check_lineage(record, line, errors)
+                lineage_links.append((line, record.get("span_id")))
             elif kind == "metric":
                 _check_metric(record, line, errors)
                 if isinstance(record.get("name"), str):
@@ -139,6 +192,11 @@ def validate_trace(path) -> List[str]:
     for at_line, parent in parents:
         if isinstance(parent, str) and parent not in known:
             errors.append(f"line {at_line}: parent_id {parent!r} not in this trace")
+    for at_line, span in lineage_links:
+        if isinstance(span, str) and span not in known:
+            errors.append(
+                f"line {at_line}: lineage span_id {span!r} not in this trace"
+            )
     if len(set(metric_names)) != len(metric_names):
         errors.append("duplicate metric names")
     return errors
@@ -164,6 +222,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             data = read_trace(path)
             print(
                 f"{path}: OK — {len(data['spans'])} spans, "
+                f"{len(data['lineage'])} lineage records, "
                 f"{len(data['metrics'])} metrics, trace {data['meta'].get('trace_id')}"
             )
     return 1 if failed else 0

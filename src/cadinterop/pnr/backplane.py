@@ -22,7 +22,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from cadinterop.common.diagnostics import Category, IssueLog, Severity
 from cadinterop.common.geometry import Point
-from cadinterop.obs import get_logger, get_tracer
+from cadinterop.obs import get_lineage, get_logger, get_tracer
 from cadinterop.pnr.cells import CellLibrary, effective_access
 from cadinterop.pnr.design import PnRDesign
 from cadinterop.pnr.dialects import PnRDialect
@@ -62,6 +62,7 @@ def convey(
     """Translate the neutral model into one tool's input, logging losses."""
     log = log if log is not None else IssueLog()
     payload = ToolInput(tool=dialect.name)
+    lineage = get_lineage()
 
     # --- pin access conventions -----------------------------------------
     for cell in library.cells():
@@ -79,6 +80,13 @@ def convey(
                     f"ignoring the declared property {sorted(pin.props.access)}",
                     tool=dialect.name,
                     remedy="adjust blockage geometry so derivation matches intent",
+                )
+                lineage.record(
+                    "pin-access", f"{cell.name}.{pin.name}", "pnr:convey",
+                    "approximated",
+                    detail=f"derived {sorted(access)} != declared "
+                    f"{sorted(pin.props.access)}",
+                    dialect=dialect.name,
                 )
 
     # --- connection properties --------------------------------------------
@@ -101,6 +109,16 @@ def convey(
                     f"connection property {tag!r} has no support in {dialect.name}",
                     tool=dialect.name,
                     remedy="enforce the property with a manual check after routing",
+                )
+                lineage.record(
+                    "intent", f"connection:{tag}:{cell.name}.{pin.name}",
+                    "pnr:convey", "dropped",
+                    detail=f"no support in {dialect.name}", dialect=dialect.name,
+                )
+            for tag in sorted(supported):
+                lineage.record(
+                    "intent", f"connection:{tag}:{cell.name}.{pin.name}",
+                    "pnr:convey", "preserved", dialect=dialect.name,
                 )
             if not supported:
                 continue
@@ -129,6 +147,10 @@ def convey(
     def want(feature: str, directive: str, subject: str) -> None:
         if feature in dialect.supported_floorplan_features:
             payload.floorplan_directives.append(directive)
+            lineage.record(
+                "intent", f"floorplan:{feature}:{subject}", "pnr:convey",
+                "preserved", detail=directive, dialect=dialect.name,
+            )
         else:
             payload.dropped.append(f"floorplan:{feature}:{subject}")
             log.add(
@@ -136,6 +158,11 @@ def convey(
                 f"floorplan intent {feature!r} cannot be conveyed to {dialect.name}",
                 tool=dialect.name,
                 remedy="re-create the constraint inside the tool by hand",
+            )
+            lineage.record(
+                "intent", f"floorplan:{feature}:{subject}", "pnr:convey",
+                "dropped", detail=f"cannot be conveyed to {dialect.name}",
+                dialect=dialect.name,
             )
 
     for block in floorplan.blocks.values():
@@ -179,6 +206,11 @@ def convey(
             spacing_tracks=rule.spacing_tracks if "spacing" in kept else 1,
             shield=rule.shield and "shield" in kept,
         )
+        for tag in sorted(kept):
+            lineage.record(
+                "intent", f"netrule:{tag}:{rule.net}", "pnr:convey",
+                "preserved", dialect=dialect.name,
+            )
         for tag in sorted(wanted - kept):
             payload.dropped.append(f"netrule:{tag}:{rule.net}")
             log.add(
@@ -186,6 +218,11 @@ def convey(
                 f"net topology control {tag!r} dropped for {dialect.name}",
                 tool=dialect.name,
                 remedy="expect coupling/current-density risk on this net",
+            )
+            lineage.record(
+                "intent", f"netrule:{tag}:{rule.net}", "pnr:convey",
+                "dropped", detail=f"no support in {dialect.name}",
+                dialect=dialect.name,
             )
     if payload.dropped:
         _log.debug(

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from cadinterop.common.diagnostics import Category, IssueLog, Severity
 from cadinterop.common.namemap import NameMap
 from cadinterop.hdl.ast_nodes import GateInst, HDLError, Module
+from cadinterop.obs import get_lineage
 from cadinterop.pnr.cells import CellLibrary
 from cadinterop.pnr.design import PnRDesign, PnRInstance, inst_terminal, pad_terminal
 
@@ -60,7 +61,12 @@ class _Lowerer:
     def fresh_net(self) -> str:
         self._net_counter += 1
         name = f"dec${self._net_counter}"
-        return self.name_map.map(name)
+        mapped = self.name_map.map(name)
+        get_lineage().record(
+            "net", mapped, "rtl2gds", "synthesized",
+            detail="decomposition net", design=self.module.name,
+        )
+        return mapped
 
     def emit_cell(self, cell_name: str, pins: Dict[str, str]) -> str:
         """Instantiate one library cell; returns the instance name."""
@@ -190,8 +196,23 @@ class _Lowerer:
                 f"module {module.name!r} is not a pure gate netlist; "
                 "synthesize and flatten first"
             )
+        lineage = get_lineage()
         for gate in module.gates:
+            cells_before = self._cell_counter
             self.lower_gate(gate)
+            emitted = self._cell_counter - cells_before
+            if emitted:
+                lineage.record(
+                    "gate", gate.name, "rtl2gds", "transformed",
+                    detail=f"{gate.gate} -> {emitted} cell(s)",
+                    design=module.name,
+                )
+            else:
+                lineage.record(
+                    "gate", gate.name, "rtl2gds", "dropped",
+                    detail=f"no mapping for gate type {gate.gate!r}",
+                    design=module.name,
+                )
 
         # Ports become pads on their nets.
         for port in module.ports:

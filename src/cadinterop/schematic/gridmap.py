@@ -22,7 +22,7 @@ from typing import List, Optional
 
 from cadinterop.common.diagnostics import Category, IssueLog, Severity
 from cadinterop.common.geometry import OffGridError, Point, Rect, Transform
-from cadinterop.obs import get_logger
+from cadinterop.obs import get_lineage, get_logger
 from cadinterop.schematic.dialects import Dialect
 from cadinterop.schematic.model import Instance, Schematic, Symbol, SymbolPin, TextLabel, Wire
 
@@ -64,6 +64,10 @@ def scale_point(
                 f"off-grid point {point.as_tuple()} snapped to {scaled.as_tuple()}",
                 remedy="clean up off-grid drawing in the source tool",
             )
+        get_lineage().record(
+            "point", subject, "scaling", "approximated",
+            detail=f"off-grid {point.as_tuple()} snapped to {scaled.as_tuple()}",
+        )
         return scaled
     if not target.grid.is_on_grid(scaled):
         snapped = target.grid.snap(scaled)
@@ -74,6 +78,10 @@ def scale_point(
                     Severity.WARNING, Category.SCALING, subject,
                     f"scaled point {scaled.as_tuple()} off target grid; snapped to {snapped.as_tuple()}",
                 )
+            get_lineage().record(
+                "point", subject, "scaling", "approximated",
+                detail=f"scaled {scaled.as_tuple()} snapped to {snapped.as_tuple()}",
+            )
             return snapped
     return scaled
 

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from cadinterop.common.diagnostics import Category, IssueLog, Severity
+from cadinterop.obs.lineage import get_lineage
 from cadinterop.obs.trace import get_tracer
 from cadinterop.schematic.busnotation import declared_buses_of, translate_net_name
 from cadinterop.schematic.connectors import (
@@ -225,7 +226,9 @@ class Migrator:
 
     def migrate(self, source: Schematic) -> MigrationResult:
         """Translate one schematic cell; the source object is not modified."""
-        with get_tracer().span("migrate", design=source.name) as span:
+        pair = f"{self.plan.source_dialect.name}->{self.plan.target_dialect.name}"
+        with get_tracer().span("migrate", design=source.name) as span, \
+                get_lineage().context(design=source.name, dialect=pair):
             result = self._migrate(source)
             span.set(clean=result.clean)
             return result
@@ -260,6 +263,11 @@ class Migrator:
                             "symbol geometry scaled in place",
                             remedy="add a symbol map entry to use a native target master",
                         )
+                        get_lineage().record(
+                            "instance", instance.name, "scaling", "preserved",
+                            detail=f"{instance.symbol.full_name} scaled in place "
+                            "(no replacement mapping)",
+                        )
             sample.items = scaling.points_scaled
 
         with _timed_stage(samples, self.stage_observer, "replacement") as sample:
@@ -279,6 +287,10 @@ class Migrator:
                         strategy=plan.replacement_strategy,
                     )
                     replacements.add(stats)
+                    get_lineage().record(
+                        "instance", instance_name, "replacement", "transformed",
+                        detail=f"{mapping.source} -> {mapping.target}",
+                    )
             sample.items = replacements.replacements
 
         with _timed_stage(samples, self.stage_observer, "properties") as sample:
@@ -320,8 +332,16 @@ class Migrator:
                     log,
                 )
                 if translated != wire.label:
+                    get_lineage().record(
+                        "net", wire.label, "bus-syntax", "transformed",
+                        detail=f"{wire.label} -> {translated}",
+                    )
                     bus_renames[wire.label] = translated
                     wire.label = translated
+                else:
+                    get_lineage().record(
+                        "net", wire.label, "bus-syntax", "preserved"
+                    )
             # Port names obey the same grammar and must stay in sync with the
             # labels of the nets they bind to.
             for port in working.ports:
@@ -334,8 +354,16 @@ class Migrator:
                     log,
                 )
                 if translated != port.name:
+                    get_lineage().record(
+                        "port", port.name, "bus-syntax", "transformed",
+                        detail=f"{port.name} -> {translated}",
+                    )
                     bus_renames[port.name] = translated
                     port.name = translated
+                else:
+                    get_lineage().record(
+                        "port", port.name, "bus-syntax", "preserved"
+                    )
 
         with _timed_stage(samples, self.stage_observer, "connectors") as sample:
             # Step 6: connector synthesis where the target dialect demands it.
@@ -352,6 +380,18 @@ class Migrator:
                     working, plan.target_dialect, plan.target_libraries, log, connector_report
                 )
             sample.items = connector_report.offpage_added + connector_report.hierarchy_added
+            # Connectors exist only because the target dialect demands
+            # explicit cross-page / hierarchy markers: pure synthesis.
+            for index in range(connector_report.offpage_added):
+                get_lineage().record(
+                    "connector", f"offpage#{index + 1}", "connectors",
+                    "synthesized", detail="off-page connector for implicit cross-page net",
+                )
+            for index in range(connector_report.hierarchy_added):
+                get_lineage().record(
+                    "connector", f"hier#{index + 1}", "connectors",
+                    "synthesized", detail="hierarchy connector for port",
+                )
 
         with _timed_stage(samples, self.stage_observer, "text") as sample:
             # Step 7: cosmetic text adjustment.

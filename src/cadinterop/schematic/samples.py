@@ -297,12 +297,18 @@ def generate_chain_schematic(
     chains_per_page: int = 4,
     stages: int = 6,
     seed: int = 1996,
+    offgrid_labels: int = 0,
 ) -> Schematic:
     """A parametric multi-page corpus cell: rows of inverter chains.
 
     Chains are joined across pages implicitly by shared labels, each chain
     row carries a bus-style label, and a fraction of instances get analog
     properties — the statistical shape of the paper's migration workload.
+    ``offgrid_labels`` nudges that many wire-label anchors off the drawing
+    grid (the hand-edit artifacts the paper blames for snapping losses):
+    those anchors cannot scale exactly onto the target grid, so migration
+    snaps them with a SCALING warning and an ``approximated`` lineage
+    record each.
     """
     rng = random.Random(seed)
     prims = libraries.library("vl_prims")
@@ -310,6 +316,7 @@ def generate_chain_schematic(
     cell = Schematic(f"chain_p{pages}x{chains_per_page}x{stages}", VIEWDRAW_LIKE.name)
     pitch_x = 160
     pitch_y = 96
+    nudged = 0
 
     for page_number in range(1, pages + 1):
         frame_w = 160 + (stages + 1) * pitch_x
@@ -322,9 +329,13 @@ def generate_chain_schematic(
             # electrical net, named CH<row>_<boundary>.
             incoming = f"CH{row}_{page_number - 1}"
             outgoing = f"CH{row}_{page_number}"
-            page.add_wire(
-                Wire([Point(96, y + 16), Point(160, y + 16)], label=incoming)
-            )
+            wire = Wire([Point(96, y + 16), Point(160, y + 16)], label=incoming)
+            if nudged < offgrid_labels:
+                # x=97 is off the 8-unit lattice: 97 * 5/8 is not integral,
+                # so rescaling must snap this anchor.
+                wire.label_position = Point(97, y + 17)
+                nudged += 1
+            page.add_wire(wire)
             for stage in range(stages):
                 x = 160 + stage * pitch_x
                 name = f"P{page_number}R{row}S{stage}"

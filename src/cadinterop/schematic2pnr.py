@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from cadinterop.common.diagnostics import Category, IssueLog, Severity
+from cadinterop.obs import get_lineage
 from cadinterop.pnr.cells import CellLibrary
 from cadinterop.pnr.design import PnRDesign, PnRInstance, inst_terminal, pad_terminal
 from cadinterop.schematic.dialects import get_dialect
@@ -97,6 +98,7 @@ def schematic_to_pnr(
     """
     log = log if log is not None else IssueLog()
     conversion = SchematicConversion(design=PnRDesign(schematic.name), log=log)
+    lineage = get_lineage()
     netlist = extract(schematic, get_dialect(schematic.dialect))
     log.merge(netlist.log)
 
@@ -114,16 +116,33 @@ def schematic_to_pnr(
                 f"{instance.symbol.library}/{instance.symbol.name}",
                 remedy="extend the binding table",
             )
+            lineage.record(
+                "instance", instance.name, "schematic2pnr", "dropped",
+                detail=f"no layout cell bound to "
+                f"{instance.symbol.library}/{instance.symbol.name}",
+                design=schematic.name,
+            )
             continue
         if binding.cell_name not in library:
             log.add(
                 Severity.ERROR, Category.STRUCTURE_MAPPING, instance.name,
                 f"binding targets unknown cell {binding.cell_name!r}",
             )
+            lineage.record(
+                "instance", instance.name, "schematic2pnr", "dropped",
+                detail=f"binding targets unknown cell {binding.cell_name!r}",
+                design=schematic.name,
+            )
             continue
         cell = library.cell(binding.cell_name)
         conversion.design.add_instance(PnRInstance(instance.name, cell))
         bound[instance.name] = binding
+        lineage.record(
+            "instance", instance.name, "schematic2pnr", "transformed",
+            detail=f"{instance.symbol.library}/{instance.symbol.name} -> "
+            f"cell {cell.name}",
+            design=schematic.name,
+        )
         # Validate the pin map against both sides.
         for pin in instance.symbol.pins:
             mapped = binding.map_pin(pin.name)
@@ -157,12 +176,22 @@ def schematic_to_pnr(
                 "global net excluded from signal routing (route via a "
                 "power/ground strategy)",
             )
+            lineage.record(
+                "net", net.name, "schematic2pnr", "preserved",
+                detail="global net carried by power/ground strategy",
+                design=schematic.name,
+            )
             continue
         matching_ports = sorted(net.labels & port_names)
         for port in matching_ports:
             terminals.append(pad_terminal(port))
             if port not in conversion.port_pads:
                 conversion.port_pads.append(port)
+                lineage.record(
+                    "pad", port, "schematic2pnr", "synthesized",
+                    detail="pad created for schematic port",
+                    design=schematic.name,
+                )
         if len(terminals) >= 2:
             conversion.design.add_net(net.name, terminals)
     return conversion

@@ -23,7 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from cadinterop.obs import get_logger, get_metrics, get_tracer
+from cadinterop.obs import get_lineage, get_logger, get_metrics, get_tracer
 from cadinterop.workflow.model import (
     FlowInstance,
     FlowTemplate,
@@ -64,9 +64,20 @@ class StepApi:
 
     # -- metadata exchange ("exchange (set/get) metadata with the workflow")
     def set_variable(self, name: str, value: Any) -> None:
+        # An artifact facet: the step produced workflow metadata that did
+        # not exist before it ran.
+        get_lineage().record(
+            "artifact", name, f"workflow:{self._step.name}", "synthesized",
+            detail=f"produced {value!r}", design=self._instance.block,
+        )
         self._engine.set_variable(self._instance, name, value)
 
     def get_variable(self, name: str, default: Any = None) -> Any:
+        if name in self._instance.variables:
+            get_lineage().record(
+                "artifact", name, f"workflow:{self._step.name}", "preserved",
+                detail="consumed", design=self._instance.block,
+            )
         return self._instance.variables.get(name, default)
 
     # -- introspection -------------------------------------------------------

@@ -184,6 +184,77 @@ class TestReportRendering:
         assert "verification" in rendered  # the stage table rides along
 
 
+class TestFarmLineage:
+    def lossy_corpus(self, vl_libs, count=3):
+        corpus = []
+        for index in range(count):
+            cell = generate_chain_schematic(
+                vl_libs, pages=1, chains_per_page=2, stages=3, seed=index,
+                offgrid_labels=index % 2,  # units 01 (and 03, ...) are lossy
+            )
+            cell.name = f"unit{index:02d}"
+            corpus.append(cell)
+        return corpus
+
+    def run_with_lineage(self, plan, corpus, **kwargs):
+        from cadinterop.obs import (
+            disable_lineage,
+            disable_tracing,
+            enable_lineage,
+            enable_tracing,
+        )
+
+        tracer = enable_tracing()
+        recorder = enable_lineage()
+        try:
+            report = MigrationFarm(plan, **kwargs).run(corpus)
+            return report, recorder.records(), tracer.spans()
+        finally:
+            disable_lineage()
+            disable_tracing()
+
+    def test_loss_report_rides_on_the_farm_report(self, vl_libs, plan):
+        corpus = self.lossy_corpus(vl_libs)
+        report, records, _spans = self.run_with_lineage(plan, corpus)
+        assert report.loss is not None
+        assert report.loss.total == len(records)
+        assert report.loss.by_verb["approximated"] == 1  # unit01's nudged label
+        assert report.loss.top_lossy_designs() == [("unit01", 1)]
+        assert report.loss.summary() in report.render()
+
+    def test_untraced_run_has_no_loss_report(self, vl_libs, plan):
+        report = MigrationFarm(plan).run(self.lossy_corpus(vl_libs))
+        assert report.loss is None
+
+    def test_worker_lineage_merges_and_links(self, vl_libs, plan):
+        corpus = self.lossy_corpus(vl_libs)
+        reference, ref_records, _ = self.run_with_lineage(plan, corpus, jobs=1)
+        for executor in ("thread", "process"):
+            report, records, spans = self.run_with_lineage(
+                plan, corpus, jobs=2, executor=executor
+            )
+            key = lambda r: (r["design"], r["stage"], r["verb"], r["object_id"])
+            assert sorted(map(key, records)) == sorted(map(key, ref_records)), executor
+            assert report.loss.as_dict() == reference.loss.as_dict(), executor
+            # Worker records must link to spans adopted into this trace.
+            span_ids = {span["span_id"] for span in spans}
+            assert all(r["span_id"] in span_ids for r in records), executor
+
+    def test_cache_hit_is_recorded_as_preserved(self, vl_libs, plan, tmp_path):
+        corpus = self.lossy_corpus(vl_libs, count=2)
+        cache = ResultCache(tmp_path)
+        self.run_with_lineage(plan, corpus, cache=cache)
+        report, records, _spans = self.run_with_lineage(plan, corpus, cache=cache)
+        assert report.cached == 2
+        hits = [r for r in records if r["stage"] == "farm:cache"]
+        assert len(hits) == 2
+        assert all(r["verb"] == "preserved" for r in hits)
+        assert {r["object_id"] for r in hits} == {"unit00", "unit01"}
+        # Cached designs never re-entered the pipeline, so no migration
+        # records (and no losses) this time around.
+        assert report.loss.total == 2 and report.loss.losses == 0
+
+
 class TestNetlistCache:
     def test_source_extraction_is_reused(self, vl_libs, plan):
         from cadinterop.schematic.migrate import Migrator

@@ -2,7 +2,7 @@
 
 import pytest
 
-from cadinterop.obs import disable_metrics, disable_tracing
+from cadinterop.obs import disable_lineage, disable_metrics, disable_tracing
 
 
 @pytest.fixture(autouse=True)
@@ -10,3 +10,4 @@ def _reset_obs_globals():
     yield
     disable_tracing()
     disable_metrics()
+    disable_lineage()

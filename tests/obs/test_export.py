@@ -5,7 +5,9 @@ import json
 import pytest
 
 from cadinterop.obs import (
+    READABLE_FORMATS,
     TRACE_FORMAT,
+    LineageRecorder,
     MetricsRegistry,
     Tracer,
     read_trace,
@@ -15,6 +17,7 @@ from cadinterop.obs import (
     validate_trace,
     write_trace,
 )
+from cadinterop.obs.trace import sanitize_attrs
 from cadinterop.obs.validate import main as validate_main
 
 
@@ -50,6 +53,114 @@ class TestRoundtrip:
         path.write_text('{"record": "mystery"}\n')
         with pytest.raises(ValueError, match="mystery"):
             read_trace(path)
+
+    def test_lineage_records_roundtrip(self, tmp_path):
+        tracer, registry = sample_trace()
+        recorder = LineageRecorder()
+        recorder.record("net", "CLK", "bus-syntax", "transformed",
+                        detail="CLK -> clk", design="top", dialect="a->b")
+        recorder.record("intent", "region", "pnr:convey", "dropped")
+        path = tmp_path / "trace.jsonl"
+        written = write_trace(path, tracer.spans(), registry.snapshot(),
+                              trace_id=tracer.trace_id,
+                              lineage=recorder.records())
+        assert written == 1 + 3 + 2 + 2  # meta + spans + lineage + metrics
+        trace = read_trace(path)
+        assert len(trace["lineage"]) == 2
+        first = trace["lineage"][0]
+        assert first["object_id"] == "CLK" and first["verb"] == "transformed"
+        assert first["design"] == "top" and first["dialect"] == "a->b"
+
+
+class TestCorruptInput:
+    """Satellite: read_trace/validate must fail loudly, not guess."""
+
+    def test_format_1_files_still_read(self, tmp_path):
+        # A pre-lineage trace written by the old exporter.
+        assert 1 in READABLE_FORMATS and TRACE_FORMAT == 2
+        path = tmp_path / "v1.jsonl"
+        path.write_text(
+            "\n".join([
+                json.dumps({"record": "meta", "format": 1, "trace_id": "old"}),
+                json.dumps({"record": "span", "span_id": "s1", "parent_id": None,
+                            "name": "root", "start": 1.0, "seconds": 0.5,
+                            "status": "ok", "attrs": {}}),
+                json.dumps({"record": "metric", "name": "hits",
+                            "type": "counter", "value": 2}),
+            ]) + "\n"
+        )
+        trace = read_trace(path)
+        assert trace["meta"]["format"] == 1
+        assert trace["lineage"] == []  # simply absent, not an error
+        assert trace["metrics"]["hits"]["value"] == 2
+        assert validate_trace(path) == []
+
+    def test_truncated_line_names_the_line(self, tmp_path):
+        tracer, registry = sample_trace()
+        path = tmp_path / "cut.jsonl"
+        write_trace(path, tracer.spans(), registry.snapshot(),
+                    trace_id=tracer.trace_id)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # mid-record truncation
+        with pytest.raises(ValueError, match=r"line \d+: invalid JSON"):
+            read_trace(path)
+        with pytest.raises(ValueError, match="truncated"):
+            read_trace(path)
+
+    def test_future_format_is_refused(self, tmp_path):
+        path = tmp_path / "v3.jsonl"
+        path.write_text(json.dumps({"record": "meta", "format": 3,
+                                    "trace_id": "x"}) + "\n")
+        with pytest.raises(ValueError, match="unsupported trace format 3"):
+            read_trace(path)
+        errors = "\n".join(validate_trace(path))
+        assert "unknown trace format 3" in errors
+
+    def test_non_object_record_is_refused(self, tmp_path):
+        path = tmp_path / "list.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="not an object"):
+            read_trace(path)
+
+
+class TestAttrSanitization:
+    """Satellite: span attrs become primitives at finish, not at dump."""
+
+    def test_sanitize_stringifies_non_primitives(self):
+        clean = sanitize_attrs({"n": 3, "ok": True, "none": None,
+                                "path": {"a": 1}, 4: "key"})
+        assert clean["n"] == 3 and clean["ok"] is True and clean["none"] is None
+        assert clean["path"] == "{'a': 1}"  # explicit str(), not a dumps fallback
+        assert clean["4"] == "key"
+
+    def test_finished_span_attrs_are_primitives(self):
+        tracer = Tracer()
+        with tracer.span("s", corpus=["a", "b"], size=2):
+            pass
+        attrs = tracer.spans()[0]["attrs"]
+        assert attrs == {"corpus": "['a', 'b']", "size": 2}
+
+    def test_write_trace_no_longer_stringifies_silently(self, tmp_path):
+        # A producer bypassing span-finish sanitization must raise, not be
+        # papered over by json.dumps(default=str).
+        span = {"name": "s", "span_id": "1", "parent_id": None, "start": 1.0,
+                "seconds": 0.1, "status": "ok", "attrs": {"bad": {1, 2}}}
+        with pytest.raises(TypeError):
+            write_trace(tmp_path / "t.jsonl", [span], trace_id="x")
+
+    def test_validator_flags_non_primitive_attrs(self, tmp_path):
+        path = tmp_path / "attrs.jsonl"
+        path.write_text(
+            "\n".join([
+                json.dumps({"record": "meta", "format": 2, "trace_id": "x"}),
+                json.dumps({"record": "span", "span_id": "s1", "parent_id": None,
+                            "name": "root", "start": 1.0, "seconds": 0.1,
+                            "status": "ok", "attrs": {"corpus": [1, 2]}}),
+            ]) + "\n"
+        )
+        errors = "\n".join(validate_trace(path))
+        assert "attr 'corpus' is not a primitive (list)" in errors
+        assert "sanitize at span finish" in errors
 
 
 class TestRenderers:
@@ -134,6 +245,32 @@ class TestValidate:
         assert "status 'weird'" in errors
         assert "buckets+1" in errors or "counts" in errors
         assert "invalid JSON" in errors
+
+    def test_lineage_contract(self, tmp_path):
+        path = tmp_path / "lineage.jsonl"
+        path.write_text(
+            "\n".join([
+                json.dumps({"record": "meta", "format": 2, "trace_id": "x"}),
+                json.dumps({"record": "span", "span_id": "s1", "parent_id": None,
+                            "name": "root", "start": 1.0, "seconds": 0.1,
+                            "status": "ok", "attrs": {}}),
+                # Good record: linked to s1.
+                json.dumps({"record": "lineage", "object_kind": "net",
+                            "object_id": "n", "stage": "scaling",
+                            "verb": "approximated", "detail": "", "span_id": "s1",
+                            "design": None, "dialect": None}),
+                # Bad verb, dangling span link, missing object_id.
+                json.dumps({"record": "lineage", "object_kind": "net",
+                            "object_id": "", "stage": "scaling",
+                            "verb": "mangled", "detail": "", "span_id": "ghost",
+                            "design": None, "dialect": None}),
+            ]) + "\n"
+        )
+        errors = "\n".join(validate_trace(path))
+        assert "lineage verb 'mangled' invalid" in errors
+        assert "lineage span_id 'ghost' not in this trace" in errors
+        assert "lineage record without a string object_id" in errors
+        assert "'s1'" not in errors  # the linked record is clean
 
     def test_cli_entry_point(self, tmp_path, capsys):
         good = self.write_sample(tmp_path)

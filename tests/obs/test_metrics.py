@@ -65,7 +65,9 @@ class TestSnapshotAndMerge:
     def test_snapshot_is_plain_data(self):
         snapshot = self.build().snapshot()
         assert snapshot["c"] == {"type": "counter", "value": 3}
-        assert snapshot["g"] == {"type": "gauge", "value": 1.5}
+        assert snapshot["g"]["type"] == "gauge"
+        assert snapshot["g"]["value"] == 1.5
+        assert snapshot["g"]["seq"] > 0  # write stamp for merge ordering
         assert snapshot["h"]["counts"] == [1, 0]
         import json
 
@@ -77,7 +79,44 @@ class TestSnapshotAndMerge:
         snapshot = left.snapshot()
         assert snapshot["c"]["value"] == 6
         assert snapshot["h"]["count"] == 2
-        assert snapshot["g"]["value"] == 1.5  # gauges take the incoming value
+        assert snapshot["g"]["value"] == 1.5  # newest write wins
+
+    def test_gauge_merge_keeps_newest_regardless_of_order(self):
+        # The regression: last-write-wins used to depend on which worker
+        # snapshot merged last, i.e. on pool join order.
+        older = MetricsRegistry()
+        older.gauge("g").set(1.0)
+        newer = MetricsRegistry()
+        newer.gauge("g").set(2.0)
+
+        forward = MetricsRegistry()
+        forward.merge(older.snapshot())
+        forward.merge(newer.snapshot())
+        backward = MetricsRegistry()
+        backward.merge(newer.snapshot())
+        backward.merge(older.snapshot())
+        assert forward.gauge("g").value == 2.0
+        assert backward.gauge("g").value == 2.0
+
+    def test_gauge_seq_is_strictly_monotonic_in_process(self):
+        gauge = MetricsRegistry().gauge("g")
+        seqs = []
+        for value in range(5):
+            gauge.set(value)
+            seqs.append(gauge.seq)
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_gauge_merge_accepts_preseq_snapshots(self):
+        # Format-1 trace files carry gauges without a seq stamp; a fresh
+        # registry (seq 0) must still adopt them.
+        registry = MetricsRegistry()
+        registry.merge({"g": {"type": "gauge", "value": 7.0}})
+        assert registry.gauge("g").value == 7.0
+        # ... but any stamped local write beats the stampless snapshot.
+        registry.gauge("g").set(9.0)
+        registry.merge({"g": {"type": "gauge", "value": 7.0}})
+        assert registry.gauge("g").value == 9.0
 
     def test_merge_rejects_differing_buckets(self):
         left = MetricsRegistry()

@@ -257,3 +257,161 @@ class TestMigrateBatchObservability:
         snapshot = json.loads(metrics_file.read_text())
         assert snapshot["farm.designs.migrated"]["value"] == 2
         assert snapshot["stage.seconds[verification]"]["count"] == 2
+
+    def test_lineage_out_writes_v2_trace_with_linked_records(self, tmp_path, capsys):
+        from cadinterop.obs import get_lineage, read_trace, validate_trace
+
+        lineage_file = tmp_path / "lineage.jsonl"
+        assert main(["migrate-batch", "--generate", "4",
+                     "--lineage-out", str(lineage_file)]) == 0
+        out = capsys.readouterr().out
+        assert "lineage trace written" in out
+        assert "lineage:" in out and "losses" in out  # loss summary printed
+        assert not get_lineage().enabled  # torn down after the run
+        assert validate_trace(lineage_file) == []
+        trace = read_trace(lineage_file)
+        assert trace["meta"]["format"] == 2
+        assert trace["lineage"]
+        # Acceptance: every lineage record resolves to a span in this file.
+        span_ids = {s["span_id"] for s in trace["spans"]}
+        assert all(r["span_id"] in span_ids for r in trace["lineage"])
+
+    def test_lineage_out_can_share_the_trace_file(self, tmp_path, capsys):
+        from cadinterop.obs import read_trace
+
+        shared = tmp_path / "t.jsonl"
+        assert main(["migrate-batch", "--generate", "2",
+                     "--trace-out", str(shared),
+                     "--lineage-out", str(shared)]) == 0
+        out = capsys.readouterr().out
+        assert out.count(str(shared)) == 1  # written once, not twice
+        assert read_trace(shared)["lineage"]
+
+    def test_generated_corpus_loss_matches_issue_totals(self, tmp_path, capsys):
+        # Acceptance criterion: the audited approximation count for the
+        # 8-design corpus equals the SCALING snap warnings an uninstrumented
+        # run of the same corpus logs.
+        from cadinterop.common.diagnostics import Category, Severity
+        from cadinterop.obs import read_trace
+        from cadinterop.schematic.migrate import Migrator
+        from cadinterop.schematic.samples import (
+            build_sample_plan,
+            build_vl_libraries,
+            generate_chain_schematic,
+        )
+
+        libraries = build_vl_libraries()
+        plan = build_sample_plan(source_libraries=libraries)
+        shapes = [(1, 2, 3, 0), (2, 2, 4, 1), (1, 3, 5, 0), (2, 4, 4, 2)]
+        expected = 0
+        for index in range(8):
+            pages, chains, stages, offgrid = shapes[index % len(shapes)]
+            cell = generate_chain_schematic(
+                libraries, pages=pages, chains_per_page=chains, stages=stages,
+                seed=index, offgrid_labels=offgrid,
+            )
+            result = Migrator(plan).migrate(cell)
+            expected += sum(
+                1 for issue in result.log
+                if issue.category is Category.SCALING
+                and issue.severity is Severity.WARNING
+            )
+        assert expected > 0  # the corpus is intentionally lossy
+
+        lineage_file = tmp_path / "l.jsonl"
+        assert main(["migrate-batch", "--generate", "8",
+                     "--lineage-out", str(lineage_file)]) == 0
+        capsys.readouterr()
+        records = read_trace(lineage_file)["lineage"]
+        approximated = [r for r in records if r["verb"] == "approximated"]
+        assert len(approximated) == expected
+        assert all(r["stage"] == "scaling" for r in approximated)
+
+
+class TestAudit:
+    def write_lineage_trace(self, tmp_path, name="l.jsonl", generate="4"):
+        path = tmp_path / name
+        assert main(["migrate-batch", "--generate", generate,
+                     "--lineage-out", str(path)]) == 0
+        return path
+
+    def test_audit_renders_loss_matrix(self, tmp_path, capsys):
+        path = self.write_lineage_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["audit", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "lineage:" in out and "losses" in out
+        assert "stage" in out and "scaling" in out and "replacement" in out
+        assert "dialect" in out and "top lossy designs" in out
+
+    def test_audit_json_output(self, tmp_path, capsys):
+        import json
+
+        path = self.write_lineage_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["audit", "--json", str(path)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["total"] > 0
+        assert data["losses"] == data["by_verb"]["approximated"] + \
+            data["by_verb"]["dropped"]
+        assert "scaling" in data["matrix"]
+
+    def test_audit_merges_globbed_traces(self, tmp_path, capsys):
+        import json
+
+        first = self.write_lineage_trace(tmp_path, "a.jsonl", generate="2")
+        self.write_lineage_trace(tmp_path, "b.jsonl", generate="2")
+        capsys.readouterr()
+        assert main(["audit", "--json", str(first)]) == 0
+        single = json.loads(capsys.readouterr().out)
+        assert main(["audit", "--json", str(tmp_path / "*.jsonl")]) == 0
+        merged = json.loads(capsys.readouterr().out)
+        assert merged["total"] == 2 * single["total"]
+
+    def test_audit_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["audit", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_audit_of_lineage_free_trace(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.jsonl"
+        assert main(["trace", "--trace-out", str(trace_file),
+                     "naming", "clk"]) == 0
+        capsys.readouterr()
+        assert main(["audit", str(trace_file)]) == 0
+        assert "(no lineage records)" in capsys.readouterr().out
+
+
+class TestStatsMultiFile:
+    def write_trace(self, tmp_path, name, generate="2"):
+        path = tmp_path / name
+        assert main(["trace", "--trace-out", str(path),
+                     "migrate-batch", "--generate", generate]) == 0
+        return path
+
+    def test_stats_merges_multiple_traces(self, tmp_path, capsys):
+        import re
+
+        a = self.write_trace(tmp_path, "a.jsonl")
+        b = self.write_trace(tmp_path, "b.jsonl", generate="3")
+        capsys.readouterr()
+        assert main(["stats", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        # Both trace ids are announced and the counters add up (2 + 3).
+        assert out.count("trace ") >= 2
+        migrated = re.search(r"farm\.designs\.migrated\s+counter\s+(\d+)", out)
+        assert migrated and int(migrated.group(1)) == 5
+        # The span tree is a single-file affair; merged views stay flat.
+        assert "└─" not in out
+
+    def test_stats_accepts_globs(self, tmp_path, capsys):
+        self.write_trace(tmp_path, "a.jsonl")
+        self.write_trace(tmp_path, "b.jsonl")
+        capsys.readouterr()
+        assert main(["stats", str(tmp_path / "*.jsonl")]) == 0
+        assert capsys.readouterr().out.count("trace ") >= 2
+
+    def test_stats_single_file_still_prints_tree(self, tmp_path, capsys):
+        a = self.write_trace(tmp_path, "a.jsonl")
+        capsys.readouterr()
+        assert main(["stats", str(a)]) == 0
+        assert "└─" in capsys.readouterr().out
