@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench rows examples farm trace audit checklist all clean
+.PHONY: install test bench rows examples farm trace audit checklist kernels all clean
 
 install:
 	pip install -e .
@@ -44,6 +44,11 @@ audit:
 
 checklist:
 	$(PYTHON) -m cadinterop.cli checklist --scenario full-asic
+
+# Kernel equivalence (compiled vs interpreter oracle) + the E18 speedup row.
+kernels:
+	$(PYTHON) -m pytest tests/hdl/test_kernel_differential.py -q
+	$(PYTHON) -m pytest benchmarks/test_bench_kernel_compile.py -s --benchmark-disable
 
 all: test bench examples
 

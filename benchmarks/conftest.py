@@ -1,10 +1,29 @@
 """Shared fixtures for the experiment benchmarks (see EXPERIMENTS.md)."""
 
+import os
+
 import pytest
 
 from cadinterop.pnr.samples import build_cell_library, build_floorplan
 from cadinterop.pnr.tech import generic_two_layer_tech
 from cadinterop.schematic.samples import build_vl_libraries
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Workload multiplier for the microbenchmarks.
+
+    ``CADINTEROP_BENCH_SCALE=1`` (the default) keeps the suite fast enough
+    for CI smoke runs; larger values grow the workloads proportionally for
+    stable timing measurements on a quiet machine.  Values below 1 are
+    clamped up, garbage falls back to 1.
+    """
+    raw = os.environ.get("CADINTEROP_BENCH_SCALE", "1")
+    try:
+        scale = int(raw)
+    except ValueError:
+        scale = 1
+    return max(1, scale)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,142 @@
+"""E18 — compiled kernel speedup on the race-ensemble workload.
+
+The closure-compiled kernel exists for one reason: ensemble runs
+(``detect_races``, co-simulation sweeps) execute the *same model* many
+times, and re-elaborating plus tree-walking per run repeats work whose
+result cannot change.  Rows: interpreter vs compiled wall time and
+activations/second on a personality-ensemble workload over a pipeline
+with combinational clouds and deliberate write races.  Expected shape:
+compiled >= 3x interpreter throughput, identical race verdicts, and obs
+traces showing exactly one ``hdl:compile`` span serving all runs.
+"""
+
+import time
+
+from cadinterop.hdl.compile import compile_calls
+from cadinterop.hdl.parser import parse_module
+from cadinterop.hdl.races import detect_races
+from cadinterop.obs import disable_tracing, enable_tracing
+
+MIN_SPEEDUP = 3.0
+REPEATS = 3
+
+
+def build_workload(stages=10, toggles=40):
+    """A pipeline with per-stage combinational clouds and two racy writers.
+
+    Deep-ish expressions are the representative case: real models compute
+    something between flops, and expression evaluation is exactly where
+    tree-walking interpretation pays per activation.
+    """
+    lines = ["module ensemble_bench;", "  reg clk; reg d0;"]
+    for i in range(1, stages + 1):
+        lines.append(f"  reg q{i};")
+        lines.append(f"  wire c{i};")
+    lines.append("  initial begin clk = 0; d0 = 0; end")
+    body = []
+    for k in range(toggles):
+        body.append(f"#5 clk = {k % 2 ^ 1};")
+        if k % 3 == 0:
+            body.append(f"d0 = {k % 2};")
+    lines.append("  initial begin " + " ".join(body) + " end")
+    for i in range(1, stages + 1):
+        src = "d0" if i == 1 else f"q{i-1}"
+        lines.append(
+            f"  assign c{i} = ({src} ^ clk) | "
+            f"(~{src} & (clk ^ {src})) ^ ({src} & ~clk);"
+        )
+        lines.append(f"  always @(posedge clk) q{i} = c{i} ^ {src};")
+    lines.append("  reg r;")
+    lines.append("  always @(posedge clk) r = q1;")
+    lines.append(f"  always @(posedge clk) r = q{stages};")
+    lines.append("endmodule")
+    return parse_module("\n".join(lines))
+
+
+def _time_ensemble(module, kernel, rounds):
+    detect_races(module, until=10_000, kernel=kernel)  # warmup
+    best = float("inf")
+    report = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            report = detect_races(module, until=10_000, kernel=kernel)
+        best = min(best, time.perf_counter() - start)
+    return best, report
+
+
+class TestKernelSpeedup:
+    def test_compiled_kernel_beats_interpreter_3x(self, bench_scale):
+        module = build_workload()
+        rounds = 4 * bench_scale
+        interp_time, interp_report = _time_ensemble(module, "interp", rounds)
+        compiled_time, compiled_report = _time_ensemble(
+            module, "compiled", rounds
+        )
+        speedup = interp_time / compiled_time
+
+        # Same verdicts first — a fast wrong kernel is worthless.
+        assert interp_report.has_race and compiled_report.has_race
+        assert interp_report.racy_signals == compiled_report.racy_signals
+
+        rows = [
+            ("interp", f"{interp_time * 1000:.1f}ms"),
+            ("compiled", f"{compiled_time * 1000:.1f}ms"),
+            ("speedup", f"{speedup:.2f}x"),
+        ]
+        print(f"\nE18 rows: {rows}")
+        assert speedup >= MIN_SPEEDUP, (
+            f"compiled kernel only {speedup:.2f}x over interpreter "
+            f"(interp {interp_time * 1000:.1f}ms, "
+            f"compiled {compiled_time * 1000:.1f}ms)"
+        )
+
+    def test_activation_rates_and_counts_match(self, bench_scale):
+        # Activations are the unit of simulation work; both kernels must
+        # do the same number of them (same schedule), so the speedup is
+        # pure per-activation cost, not work skipped.
+        from cadinterop.hdl.personalities import DEFAULT_ENSEMBLE, run_personality
+        from cadinterop.hdl.compile import compile_model
+
+        module = build_workload()
+        compiled = compile_model(module)
+        rates = {}
+        for kernel in ("interp", "compiled"):
+            shared = compiled if kernel == "compiled" else None
+            total = 0
+            start = time.perf_counter()
+            for _ in range(2 * bench_scale):
+                for personality in DEFAULT_ENSEMBLE:
+                    sim = run_personality(
+                        module, personality, until=10_000,
+                        kernel=kernel, compiled=shared,
+                    )
+                    total += sim.activations
+            elapsed = time.perf_counter() - start
+            rates[kernel] = (total, total / elapsed)
+        interp_total, interp_rate = rates["interp"]
+        compiled_total, compiled_rate = rates["compiled"]
+        assert interp_total == compiled_total
+        print(
+            f"\nE18 rates: interp {interp_rate:,.0f} acts/s, "
+            f"compiled {compiled_rate:,.0f} acts/s"
+        )
+        assert compiled_rate > interp_rate
+
+
+class TestCompileOnceObservability:
+    def test_trace_shows_one_compile_serving_all_runs(self):
+        module = build_workload(stages=4, toggles=10)
+        tracer = enable_tracing()
+        try:
+            before = compile_calls()
+            detect_races(module, until=1000, kernel="compiled")
+            spans = tracer.spans()
+        finally:
+            disable_tracing()
+        assert compile_calls() == before + 1
+        compile_spans = [s for s in spans if s["name"] == "hdl:compile"]
+        sim_spans = [s for s in spans if s["name"] == "hdl:sim"]
+        assert len(compile_spans) == 1
+        assert len(sim_spans) >= 4  # one per personality in the ensemble
+        assert all(s["attrs"]["kernel"] == "compiled" for s in sim_spans)

@@ -15,7 +15,8 @@ kernel small enough to parameterize aggressively.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from functools import lru_cache
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from cadinterop.hdl.logic import Logic4
 
@@ -83,23 +84,33 @@ class Cond:
 Expr = Union[Const, Var, Unary, Binary, Cond]
 
 
-def expr_reads(expr: Expr) -> Set[str]:
-    """All signal names an expression reads."""
+@lru_cache(maxsize=4096)
+def _expr_reads_frozen(expr: Expr) -> FrozenSet[str]:
+    """Memoized read-set (expression nodes are frozen, hence hashable).
+
+    Sensitivity queries recompute read-sets per trigger check on the hot
+    simulation path; the cache makes repeats O(hash) instead of O(tree).
+    """
     if isinstance(expr, Const):
-        return set()
+        return frozenset()
     if isinstance(expr, Var):
-        return {expr.name}
+        return frozenset((expr.name,))
     if isinstance(expr, Unary):
-        return expr_reads(expr.operand)
+        return _expr_reads_frozen(expr.operand)
     if isinstance(expr, Binary):
-        return expr_reads(expr.left) | expr_reads(expr.right)
+        return _expr_reads_frozen(expr.left) | _expr_reads_frozen(expr.right)
     if isinstance(expr, Cond):
         return (
-            expr_reads(expr.condition)
-            | expr_reads(expr.if_true)
-            | expr_reads(expr.if_false)
+            _expr_reads_frozen(expr.condition)
+            | _expr_reads_frozen(expr.if_true)
+            | _expr_reads_frozen(expr.if_false)
         )
     raise HDLError(f"not an expression: {expr!r}")
+
+
+def expr_reads(expr: Expr) -> Set[str]:
+    """All signal names an expression reads (fresh, caller-mutable set)."""
+    return set(_expr_reads_frozen(expr))
 
 
 def rename_expr(expr: Expr, mapping: Dict[str, str]) -> Expr:

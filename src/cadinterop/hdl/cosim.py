@@ -22,9 +22,10 @@ Both failure sources are reproducible switches on :class:`CoSimulation`:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from cadinterop.hdl.ast_nodes import HDLError, Module
+from cadinterop.hdl.compile import CompiledModel
 from cadinterop.hdl.logic import naive_to4, to4, to9
 from cadinterop.hdl.simulator import FIFO, OrderingPolicy, Simulator
 from cadinterop.obs import get_lineage, get_metrics, get_tracer
@@ -52,19 +53,22 @@ class CoSimulation:
 
     def __init__(
         self,
-        left: Module,
-        right: Module,
+        left: Union[Module, CompiledModel],
+        right: Union[Module, CompiledModel],
         bridge: Sequence[BridgeSignal],
         value_mode: str = "correct",
         aligned: bool = True,
         left_policy: OrderingPolicy = FIFO,
         right_policy: OrderingPolicy = FIFO,
         max_exchange_iterations: int = 16,
+        kernel: Optional[str] = None,
     ) -> None:
         if value_mode not in ("correct", "naive"):
             raise ValueError(f"unknown value mode {value_mode!r}")
-        self.left = Simulator(left, left_policy)
-        self.right = Simulator(right, right_policy)
+        # Either side may be a pre-built CompiledModel: repeated co-sim
+        # sessions over the same sides then elaborate once, not per session.
+        self.left = Simulator(left, left_policy, kernel=kernel)
+        self.right = Simulator(right, right_policy, kernel=kernel)
         # The kernels see one tiny run() per joint time step; the cosim span
         # below covers the whole session, so keep the per-run spans quiet.
         self.left._obs_quiet = True

@@ -20,17 +20,119 @@ from __future__ import annotations
 from typing import Dict, Iterable, Tuple
 
 
+# -- reference (branching) operator definitions ----------------------------
+#
+# These are the semantic source of truth: small branching functions that
+# read like the language definition.  The public :class:`Logic4` operators
+# are table-driven — the tables below are built from these once at import —
+# so the hot simulation path pays dict lookups instead of branches, while
+# the reference implementations stay available as an equivalence oracle
+# (see ``REFERENCE_OPS`` and tests/hdl/test_logic_tables.py).
+
+
+def _ref_not(a: str) -> str:
+    if a == "0":
+        return "1"
+    if a == "1":
+        return "0"
+    return "x"
+
+
+def _ref_and(a: str, b: str) -> str:
+    if a == "0" or b == "0":
+        return "0"
+    if a == "1" and b == "1":
+        return "1"
+    return "x"
+
+
+def _ref_or(a: str, b: str) -> str:
+    if a == "1" or b == "1":
+        return "1"
+    if a == "0" and b == "0":
+        return "0"
+    return "x"
+
+
+def _ref_xor(a: str, b: str) -> str:
+    if a in "xz" or b in "xz":
+        return "x"
+    return "1" if a != b else "0"
+
+
+def _ref_eq(a: str, b: str) -> str:
+    if a in "xz" or b in "xz":
+        return "x"
+    return "1" if a == b else "0"
+
+
+def _ref_case_eq(a: str, b: str) -> str:
+    return "1" if a == b else "0"
+
+
+def _ref_resolve(a: str, b: str) -> str:
+    if a == "z":
+        return b
+    if b == "z":
+        return a
+    if a == b:
+        return a
+    return "x"
+
+
+def _ref_buf(a: str) -> str:
+    return "x" if a in "xz" else a
+
+
+_V4 = ("0", "1", "x", "z")
+
+
+def _unary_table(fn) -> Dict[str, str]:
+    return {a: fn(a) for a in _V4}
+
+
+def _binary_table(fn) -> Dict[str, Dict[str, str]]:
+    return {a: {b: fn(a, b) for b in _V4} for a in _V4}
+
+
+#: Precomputed lookup tables (built once at import from the reference
+#: functions above).  ``TABLE[a][b]`` — two dict hits, zero branches —
+#: raising ``KeyError`` on anything outside the 4-value set.
+NOT_TABLE: Dict[str, str] = _unary_table(_ref_not)
+BUF_TABLE: Dict[str, str] = _unary_table(_ref_buf)
+AND_TABLE: Dict[str, Dict[str, str]] = _binary_table(_ref_and)
+OR_TABLE: Dict[str, Dict[str, str]] = _binary_table(_ref_or)
+XOR_TABLE: Dict[str, Dict[str, str]] = _binary_table(_ref_xor)
+EQ_TABLE: Dict[str, Dict[str, str]] = _binary_table(_ref_eq)
+CASE_EQ_TABLE: Dict[str, Dict[str, str]] = _binary_table(_ref_case_eq)
+RESOLVE_TABLE: Dict[str, Dict[str, str]] = _binary_table(_ref_resolve)
+
+#: Reference (branching) implementations, keyed by the Logic4 method they
+#: back — the oracle for the exhaustive table-equivalence tests.
+REFERENCE_OPS = {
+    "not_": _ref_not,
+    "and_": _ref_and,
+    "or_": _ref_or,
+    "xor": _ref_xor,
+    "eq": _ref_eq,
+    "case_eq": _ref_case_eq,
+    "resolve": _ref_resolve,
+}
+
+
 class Logic4:
     """The four-value logic system: constants and operators.
 
     Values are single-character strings for cheap hashing and printing.
+    Operators are table lookups; out-of-set values raise ``KeyError``
+    (use :meth:`validate` for a descriptive error).
     """
 
     ZERO = "0"
     ONE = "1"
     X = "x"
     Z = "z"
-    VALUES = ("0", "1", "x", "z")
+    VALUES = _V4
 
     @staticmethod
     def validate(value: str) -> str:
@@ -38,49 +140,33 @@ class Logic4:
             raise ValueError(f"not a 4-value logic level: {value!r}")
         return value
 
-    # -- operators ----------------------------------------------------------
+    # -- operators (table-driven) -------------------------------------------
 
     @staticmethod
     def not_(a: str) -> str:
-        if a == "0":
-            return "1"
-        if a == "1":
-            return "0"
-        return "x"
+        return NOT_TABLE[a]
 
     @staticmethod
     def and_(a: str, b: str) -> str:
-        if a == "0" or b == "0":
-            return "0"
-        if a == "1" and b == "1":
-            return "1"
-        return "x"
+        return AND_TABLE[a][b]
 
     @staticmethod
     def or_(a: str, b: str) -> str:
-        if a == "1" or b == "1":
-            return "1"
-        if a == "0" and b == "0":
-            return "0"
-        return "x"
+        return OR_TABLE[a][b]
 
     @staticmethod
     def xor(a: str, b: str) -> str:
-        if a in "xz" or b in "xz":
-            return "x"
-        return "1" if a != b else "0"
+        return XOR_TABLE[a][b]
 
     @staticmethod
     def eq(a: str, b: str) -> str:
         """Logical equality (``==``): unknown if either side is x/z."""
-        if a in "xz" or b in "xz":
-            return "x"
-        return "1" if a == b else "0"
+        return EQ_TABLE[a][b]
 
     @staticmethod
     def case_eq(a: str, b: str) -> str:
         """Case equality (``===``): x and z compare literally."""
-        return "1" if a == b else "0"
+        return CASE_EQ_TABLE[a][b]
 
     @staticmethod
     def is_true(a: str) -> bool:
@@ -89,19 +175,14 @@ class Logic4:
     @staticmethod
     def resolve(a: str, b: str) -> str:
         """Two drivers on one net: z yields, conflict makes x."""
-        if a == "z":
-            return b
-        if b == "z":
-            return a
-        if a == b:
-            return a
-        return "x"
+        return RESOLVE_TABLE[a][b]
 
     @staticmethod
     def resolve_many(values: Iterable[str]) -> str:
         result = "z"
+        table = RESOLVE_TABLE
         for value in values:
-            result = Logic4.resolve(result, value)
+            result = table[result][value]
         return result
 
 

@@ -11,7 +11,7 @@ product evaluations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from cadinterop.common.diagnostics import Category, IssueLog, Severity
 from cadinterop.common.namemap import NameMap, truncating_transform
@@ -25,8 +25,10 @@ from cadinterop.hdl.ast_nodes import (
     Sensitivity,
     rename_expr,
 )
+from cadinterop.hdl.compile import CompiledModel, compile_model
 from cadinterop.hdl.flatten import _rename_body
 from cadinterop.hdl.simulator import (
+    DEFAULT_KERNEL,
     FIFO,
     LIFO,
     OrderingPolicy,
@@ -144,9 +146,27 @@ def run_personality(
     until: int = 1_000_000,
     trace: Optional[Sequence[str]] = None,
     log: Optional[IssueLog] = None,
+    kernel: str = DEFAULT_KERNEL,
+    compiled: Optional[CompiledModel] = None,
 ) -> Simulator:
-    """Prepare a module for a personality and simulate it."""
+    """Prepare a module for a personality and simulate it.
+
+    Pass ``compiled`` (a :class:`CompiledModel` of ``module``) to make
+    ensemble sweeps compile-once/run-many: it is reused whenever the
+    personality's name handling leaves the module untouched.  A
+    personality that rewrites names (e.g. eight-character truncation)
+    simulates a different module and compiles its own.
+    """
     prepared = personality.prepare(module, log)
-    sim = Simulator(prepared, personality.policy, trace_signals=trace)
+    if kernel == "compiled":
+        if compiled is not None and prepared is module:
+            model: Union[Module, CompiledModel] = compiled
+        else:
+            model = compile_model(prepared)
+        sim = Simulator(model, personality.policy, trace_signals=trace)
+    else:
+        sim = Simulator(
+            prepared, personality.policy, trace_signals=trace, kernel=kernel
+        )
     sim.run(until)
     return sim

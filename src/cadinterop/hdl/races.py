@@ -21,11 +21,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from cadinterop.common.diagnostics import Category, IssueLog, Severity
 from cadinterop.hdl.ast_nodes import Module
+from cadinterop.hdl.compile import compile_model
 from cadinterop.hdl.personalities import (
     DEFAULT_ENSEMBLE,
     SimulatorPersonality,
     run_personality,
 )
+from cadinterop.hdl.simulator import DEFAULT_KERNEL, KERNELS
 
 
 @dataclass
@@ -75,22 +77,35 @@ def detect_races(
     observed: Optional[Sequence[str]] = None,
     personalities: Sequence[SimulatorPersonality] = DEFAULT_ENSEMBLE,
     until: int = 1_000_000,
+    kernel: str = DEFAULT_KERNEL,
 ) -> RaceReport:
     """Simulate under every personality and compare observed signals.
 
     ``observed`` defaults to every declared signal.  Both final values and
     full waveforms are compared: a transient glitch that converges is still
     a divergence (some downstream tool may sample mid-glitch).
+
+    On the (default) compiled kernel the module is lowered to a
+    :class:`~cadinterop.hdl.compile.CompiledModel` exactly once and every
+    personality run is a cheap ``Simulator(model, policy)`` spawn;
+    ``kernel="interp"`` keeps the reference interpreter for differential
+    checks.
     """
     if len(personalities) < 2:
         raise ValueError("need at least two personalities to compare")
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
     signals = list(observed) if observed is not None else list(module.nets)
     report = RaceReport(module.name, [p.name for p in personalities])
 
+    compiled = compile_model(module) if kernel == "compiled" else None
     finals: Dict[str, Dict[str, str]] = {s: {} for s in signals}
     waves: Dict[str, Dict[str, List[Tuple[int, str]]]] = {s: {} for s in signals}
     for personality in personalities:
-        sim = run_personality(module, personality, until=until, trace=signals)
+        sim = run_personality(
+            module, personality, until=until, trace=signals,
+            kernel=kernel, compiled=compiled,
+        )
         for signal in signals:
             finals[signal][personality.name] = sim.value(signal)
             waves[signal][personality.name] = sim.waveform(signal)

@@ -26,9 +26,10 @@ Semantics implemented (standard-conformant core):
 from __future__ import annotations
 
 import heapq
+import inspect
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from cadinterop.hdl.ast_nodes import (
     AlwaysBlock,
@@ -49,8 +50,14 @@ from cadinterop.hdl.ast_nodes import (
     Var,
     expr_reads,
 )
+from cadinterop.hdl.compile import CompiledModel, compile_model
 from cadinterop.hdl.logic import Logic4
 from cadinterop.obs import get_metrics, get_tracer
+
+#: Available simulation kernels: the interpreted reference oracle, and the
+#: closure-compiled production path (see :mod:`cadinterop.hdl.compile`).
+KERNELS = ("interp", "compiled")
+DEFAULT_KERNEL = "compiled"
 
 
 # ---------------------------------------------------------------------------
@@ -58,26 +65,79 @@ from cadinterop.obs import get_metrics, get_tracer
 # ---------------------------------------------------------------------------
 
 
+def _accepts_ordinal(select: Callable[..., int]) -> bool:
+    """Does ``select`` take a second positional (activation ordinal) arg?"""
+    try:
+        signature = inspect.signature(select)
+    except (TypeError, ValueError):  # builtins without introspection
+        return False
+    positional = 0
+    for parameter in signature.parameters.values():
+        if parameter.kind == parameter.VAR_POSITIONAL:
+            return True
+        if parameter.kind in (
+            parameter.POSITIONAL_ONLY,
+            parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional += 1
+    return positional >= 2
+
+
 @dataclass(frozen=True)
 class OrderingPolicy:
     """Chooses which ready process activation runs next.
 
     ``select`` receives the list of ready activation keys (ints, in arrival
-    order) and returns the index to run.  All policies are legal readings
-    of the standard: the choice is observable only for racy models.
+    order) and returns the index to run.  It may take a second positional
+    argument — the per-run activation ordinal — which stateful strategies
+    (e.g. seeded shuffles) should use to stay deterministic across reruns.
+    All policies are legal readings of the standard: the choice is
+    observable only for racy models.
     """
 
     name: str
-    select: Callable[[Sequence[int]], int]
+    select: Callable[..., int]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_takes_ordinal", _accepts_ordinal(self.select))
+
+    def choose(self, ready: Sequence[int], ordinal: int) -> int:
+        if self._takes_ordinal:  # type: ignore[attr-defined]
+            return self.select(ready, ordinal)
+        return self.select(ready)
 
 
 FIFO = OrderingPolicy("fifo", lambda ready: 0)
 LIFO = OrderingPolicy("lifo", lambda ready: len(ready) - 1)
 
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(seed: int, ordinal: int) -> int:
+    """splitmix64-style integer mix: uniform-ish, cheap, stateless."""
+    x = (seed * 0x9E3779B97F4A7C15 + ordinal + 1) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
 
 def seeded_shuffle_policy(seed: int) -> OrderingPolicy:
-    rng = random.Random(seed)
-    return OrderingPolicy(f"shuffle{seed}", lambda ready: rng.randrange(len(ready)))
+    """A pseudo-random but *stateless* ordering policy.
+
+    The selection is a pure function of (seed, activation ordinal), so one
+    policy object reused across ensemble runs — or a rerun with a cached
+    result — reproduces the same schedule every time.  (The previous
+    implementation closed over a shared ``random.Random``, so reuse gave
+    different selections per run.)
+    """
+
+    def select(ready: Sequence[int], ordinal: int = 0) -> int:
+        return _mix(seed, ordinal) % len(ready)
+
+    return OrderingPolicy(f"shuffle{seed}", select)
 
 
 # ---------------------------------------------------------------------------
@@ -186,9 +246,10 @@ class _GateProcess(_Process):
     def __init__(self, gate: GateInst, driver_id: int) -> None:
         self.gate = gate
         self.driver_id = driver_id
+        self._sensitivity = set(gate.inputs)
 
     def sensitivity(self) -> Set[str]:
-        return set(self.gate.inputs)
+        return self._sensitivity
 
     def run(self, sim: "Simulator") -> None:
         ins = [sim.values[name] for name in self.gate.inputs]
@@ -214,9 +275,10 @@ class _AlwaysProcess(_Process):
             for item in block.sensitivity.items
             if item.edge != "level"
         ]
+        self._all = self._level | {signal for signal, _edge in self._edges}
 
     def sensitivity(self) -> Set[str]:
-        return self._level | {signal for signal, _edge in self._edges}
+        return self._all
 
     def wants_trigger(self, signal: str, old: str, new: str) -> bool:
         if signal in self._level:
@@ -259,27 +321,59 @@ class _TimedEvent:
 
 
 class Simulator:
-    """Simulate one (flat) module under a given event-ordering policy."""
+    """Simulate one (flat) module under a given event-ordering policy.
+
+    ``model`` is either a :class:`Module` or a pre-built
+    :class:`CompiledModel`.  ``kernel`` selects the execution strategy for
+    a ``Module``: ``"compiled"`` (the default) lowers it through
+    :func:`compile_model` first; ``"interp"`` keeps the recursive AST
+    interpreter — the reference oracle the compiled kernel is verified
+    against.  Passing a ``CompiledModel`` skips elaboration entirely: the
+    model is immutable and shared, only per-run state is built, which is
+    what makes policy ensembles compile-once/run-many.
+    """
 
     def __init__(
         self,
-        module: Module,
+        model: Union[Module, CompiledModel],
         policy: OrderingPolicy = FIFO,
         trace_signals: Optional[Sequence[str]] = None,
+        kernel: Optional[str] = None,
     ) -> None:
+        if isinstance(model, CompiledModel):
+            if kernel == "interp":
+                raise HDLError(
+                    "a CompiledModel cannot run on the interpreted kernel; "
+                    "pass the Module instead"
+                )
+            compiled: Optional[CompiledModel] = model
+            module = model.module
+        else:
+            module = model
+            kernel = DEFAULT_KERNEL if kernel is None else kernel
+            if kernel not in KERNELS:
+                raise ValueError(
+                    f"unknown kernel {kernel!r}; expected one of {KERNELS}"
+                )
+            compiled = compile_model(module) if kernel == "compiled" else None
+        self.kernel = "interp" if compiled is None else "compiled"
         with get_tracer().span(
-            "hdl:elaborate", module=module.name, policy=policy.name
+            "hdl:elaborate", module=module.name, policy=policy.name,
+            kernel=self.kernel,
         ) as span:
-            self._elaborate(module, policy, trace_signals)
+            if compiled is None:
+                self._elaborate(module, policy, trace_signals)
+            else:
+                self._bind(compiled, policy, trace_signals)
             span.set(processes=len(self._processes), nets=len(module.nets))
 
-    def _elaborate(
+    def _init_state(
         self,
         module: Module,
         policy: OrderingPolicy,
         trace_signals: Optional[Sequence[str]],
     ) -> None:
-        module.validate()
+        """Per-run mutable state, common to both kernels."""
         self.module = module
         self.policy = policy
         self.now = 0
@@ -296,16 +390,46 @@ class Simulator:
 
         self._heap: List[_TimedEvent] = []
         self._sequence = 0
-        self._ready: List[_Process] = []
+        self._ready: List = []
         self._ready_set: Set[int] = set()
         self._nba: List[Tuple[str, str]] = []
 
         # Driver bookkeeping for resolution on multiply-driven nets.
         self._driver_values: Dict[int, str] = {}
-        self._drivers_of: Dict[str, List[int]] = {}
+        self._drivers_of: Dict[str, Sequence[int]] = {}
         self._pending_updates: Dict[int, _TimedEvent] = {}
 
-        self._processes: List[_Process] = []
+        #: Compiled-kernel trigger index; ``None`` selects the interpreted
+        #: all-process wants_trigger scan in :meth:`set_signal`.
+        self._triggers = None
+
+    def _bind(
+        self,
+        compiled: CompiledModel,
+        policy: OrderingPolicy,
+        trace_signals: Optional[Sequence[str]],
+    ) -> None:
+        """Attach fresh run state to a shared, immutable compiled model."""
+        self._init_state(compiled.module, policy, trace_signals)
+        self._compiled = compiled
+        self._processes: List = list(compiled.processes)
+        self._triggers = compiled.triggers
+        self._drivers_of = compiled.drivers_of  # static; never mutated
+        self._driver_values = {i: "z" for i in range(compiled.driver_count)}
+        for process in compiled.startup:
+            self._activate(process)
+
+    def _elaborate(
+        self,
+        module: Module,
+        policy: OrderingPolicy,
+        trace_signals: Optional[Sequence[str]],
+    ) -> None:
+        module.validate()
+        self._init_state(module, policy, trace_signals)
+        self._compiled = None
+
+        self._processes = []
         driver_id = 0
         for assign in module.assigns:
             process = _ContAssignProcess(assign, driver_id)
@@ -387,9 +511,32 @@ class Simulator:
         self.values[signal] = value
         if signal in self.waveforms:
             self.waveforms[signal].append((self.now, value))
-        for process in self._processes:
-            if process.wants_trigger(signal, old, value):
-                self._activate(process)
+        triggers = self._triggers
+        if triggers is None:
+            # Interpreted oracle: scan every process.
+            for process in self._processes:
+                if process.wants_trigger(signal, old, value):
+                    self._activate(process)
+            return
+        # Compiled kernel: only the indexed processes are consulted, in the
+        # same process order the scan would have visited them.
+        entries = triggers.get(signal)
+        if not entries:
+            return
+        ready_set = self._ready_set
+        ready = self._ready
+        for process, kinds in entries:
+            for kind in kinds:
+                if (
+                    kind == "level"
+                    or (kind == "posedge" and value == "1" and old != "1")
+                    or (kind == "negedge" and value == "0" and old != "0")
+                ):
+                    index = process.index
+                    if index not in ready_set:
+                        ready.append(process)
+                        ready_set.add(index)
+                    break
 
     # -- procedural execution ------------------------------------------------------
 
@@ -429,11 +576,26 @@ class Simulator:
                 return
             self._execute_stmt(stmt)
 
+    def _resume_compiled_initial(self, steps: Sequence, position: int) -> None:
+        """Run compiled initial steps from ``position``; ints are delays."""
+        while position < len(steps):
+            step = steps[position]
+            position += 1
+            if isinstance(step, int):
+                self._schedule(
+                    step,
+                    lambda s=steps, p=position: self._resume_compiled_initial(s, p),
+                )
+                return
+            step(self)
+
     # -- the event loop ---------------------------------------------------------------
 
     def _run_ready(self) -> None:
         while self._ready:
-            choice = self.policy.select(list(range(len(self._ready))))
+            ordinal = self.activations
+            self.activations += 1
+            choice = self.policy.choose(list(range(len(self._ready))), ordinal)
             process = self._ready.pop(choice)
             self._ready_set.discard(process.index)
             process.run(self)
@@ -464,7 +626,9 @@ class Simulator:
             return self._run(until, max_activations)
         events_before = self.events_executed
         activations_before = self.activations
-        with tracer.span("hdl:sim", module=self.module.name, until=until) as span:
+        with tracer.span(
+            "hdl:sim", module=self.module.name, until=until, kernel=self.kernel
+        ) as span:
             end = self._run(until, max_activations)
             span.set(
                 events=self.events_executed - events_before,
@@ -486,18 +650,63 @@ class Simulator:
         def bounded_run_ready() -> None:
             while self._ready:
                 budget[0] -= 1
+                ordinal = self.activations
                 self.activations += 1
                 if budget[0] < 0:
                     raise HDLError(
                         f"activation budget exhausted at t={self.now} "
                         "(zero-delay oscillation?)"
                     )
-                choice = self.policy.select(list(range(len(self._ready))))
+                choice = self.policy.choose(list(range(len(self._ready))), ordinal)
                 process = self._ready.pop(choice)
                 self._ready_set.discard(process.index)
                 process.run(self)
 
-        self._run_ready = bounded_run_ready  # type: ignore[method-assign]
+        def compiled_run_ready() -> None:
+            # The compiled kernel's lean activation loop: no key-list
+            # allocation (the policy sees an equivalent range), the
+            # one-ready case — the overwhelmingly common one — skips the
+            # policy entirely (every legal policy must pick index 0 there),
+            # and the budget/ordinal counters live in locals, written back
+            # on exit.  The ordinal advances exactly as in the interpreter
+            # loop, so stateless shuffle policies see the same stream.
+            ready = self._ready
+            ready_set = self._ready_set
+            policy = self.policy
+            select = policy.select
+            takes_ordinal = policy._takes_ordinal
+            remaining = budget[0]
+            ordinal = self.activations
+            try:
+                while ready:
+                    remaining -= 1
+                    if remaining < 0:
+                        # The interpreter loop counts the doomed activation
+                        # before raising; keep the counters identical.
+                        ordinal += 1
+                        raise HDLError(
+                            f"activation budget exhausted at t={self.now} "
+                            "(zero-delay oscillation?)"
+                        )
+                    count = len(ready)
+                    if count == 1:
+                        choice = 0
+                    elif takes_ordinal:
+                        choice = select(range(count), ordinal)
+                    else:
+                        choice = select(range(count))
+                    ordinal += 1
+                    process = ready.pop(choice)
+                    ready_set.discard(process.index)
+                    process.run(self)
+            finally:
+                budget[0] = remaining
+                self.activations = ordinal
+
+        bounded = (
+            compiled_run_ready if self._triggers is not None else bounded_run_ready
+        )
+        self._run_ready = bounded  # type: ignore[method-assign]
         try:
             self._settle()
             while self._heap:
@@ -538,12 +747,13 @@ class Simulator:
 
 
 def simulate(
-    module: Module,
+    module: Union[Module, CompiledModel],
     policy: OrderingPolicy = FIFO,
     until: int = 1_000_000,
     trace: Optional[Sequence[str]] = None,
+    kernel: Optional[str] = None,
 ) -> Simulator:
     """Convenience: build a simulator, run it, return it."""
-    sim = Simulator(module, policy, trace_signals=trace)
+    sim = Simulator(module, policy, trace_signals=trace, kernel=kernel)
     sim.run(until)
     return sim

@@ -1,0 +1,163 @@
+"""Exhaustive equivalence tests for the table-driven 4-value operators.
+
+The Logic4 operators are precomputed lookup tables built at import from
+small branching reference functions (``REFERENCE_OPS``).  These tests
+sweep the full input space — 4 values for unary, 4x4 for binary — so the
+tables can never silently drift from the reference semantics.
+"""
+
+import pytest
+
+from cadinterop.hdl.logic import (
+    AND_TABLE,
+    BUF_TABLE,
+    CASE_EQ_TABLE,
+    EQ_TABLE,
+    Logic4,
+    Logic9,
+    NOT_TABLE,
+    OR_TABLE,
+    REFERENCE_OPS,
+    RESOLVE_TABLE,
+    XOR_TABLE,
+)
+
+V4 = Logic4.VALUES
+
+BINARY_OPS = ["and_", "or_", "xor", "eq", "case_eq", "resolve"]
+BINARY_TABLES = {
+    "and_": AND_TABLE,
+    "or_": OR_TABLE,
+    "xor": XOR_TABLE,
+    "eq": EQ_TABLE,
+    "case_eq": CASE_EQ_TABLE,
+    "resolve": RESOLVE_TABLE,
+}
+
+
+class TestTableEquivalence:
+    def test_not_table_matches_reference_exhaustively(self):
+        reference = REFERENCE_OPS["not_"]
+        for a in V4:
+            assert NOT_TABLE[a] == reference(a)
+            assert Logic4.not_(a) == reference(a)
+
+    def test_buf_table_is_x_squashing_identity(self):
+        for a in V4:
+            expected = "x" if a in "xz" else a
+            assert BUF_TABLE[a] == expected
+
+    @pytest.mark.parametrize("op", BINARY_OPS)
+    def test_binary_table_matches_reference_exhaustively(self, op):
+        reference = REFERENCE_OPS[op]
+        table = BINARY_TABLES[op]
+        method = getattr(Logic4, op)
+        for a in V4:
+            for b in V4:
+                assert table[a][b] == reference(a, b), (op, a, b)
+                assert method(a, b) == reference(a, b), (op, a, b)
+
+    @pytest.mark.parametrize("op", BINARY_OPS)
+    def test_tables_are_total_over_the_value_set(self, op):
+        table = BINARY_TABLES[op]
+        assert set(table) == set(V4)
+        for row in table.values():
+            assert set(row) == set(V4)
+            assert set(row.values()) <= set(V4)
+
+    def test_out_of_set_inputs_raise_key_error(self):
+        with pytest.raises(KeyError):
+            Logic4.and_("0", "U")
+        with pytest.raises(KeyError):
+            Logic4.not_("W")
+        with pytest.raises(KeyError):
+            Logic4.resolve("q", "1")
+
+
+class TestAlgebraicProperties:
+    """Structural sanity on the generated tables."""
+
+    @pytest.mark.parametrize("op", ["and_", "or_", "xor", "eq", "case_eq", "resolve"])
+    def test_commutativity(self, op):
+        table = BINARY_TABLES[op]
+        for a in V4:
+            for b in V4:
+                assert table[a][b] == table[b][a]
+
+    def test_resolve_z_is_identity(self):
+        for a in V4:
+            assert RESOLVE_TABLE["z"][a] == a
+            assert RESOLVE_TABLE[a]["z"] == a
+
+    def test_resolve_conflict_is_x(self):
+        assert RESOLVE_TABLE["0"]["1"] == "x"
+        assert RESOLVE_TABLE["1"]["0"] == "x"
+
+    def test_and_or_absorption_on_binary_values(self):
+        for a in "01":
+            assert AND_TABLE[a]["1"] == a
+            assert AND_TABLE[a]["0"] == "0"
+            assert OR_TABLE[a]["0"] == a
+            assert OR_TABLE[a]["1"] == "1"
+
+    def test_case_eq_is_literal_even_on_xz(self):
+        assert CASE_EQ_TABLE["x"]["x"] == "1"
+        assert CASE_EQ_TABLE["z"]["z"] == "1"
+        assert CASE_EQ_TABLE["x"]["z"] == "0"
+        assert EQ_TABLE["x"]["x"] == "x"
+        assert EQ_TABLE["z"]["z"] == "x"
+
+
+class TestResolveMany:
+    def test_empty_fold_is_high_impedance(self):
+        assert Logic4.resolve_many([]) == "z"
+
+    def test_single_contribution_is_identity(self):
+        for a in V4:
+            assert Logic4.resolve_many([a]) == a
+
+    def test_fold_matches_pairwise_reference(self):
+        reference = REFERENCE_OPS["resolve"]
+        for a in V4:
+            for b in V4:
+                for c in V4:
+                    expected = reference(reference(reference("z", a), b), c)
+                    assert Logic4.resolve_many([a, b, c]) == expected
+
+
+class TestLogic9Resolution:
+    def test_exhaustive_commutativity(self):
+        for a in Logic9.VALUES:
+            for b in Logic9.VALUES:
+                assert Logic9.resolve(a, b) == Logic9.resolve(b, a)
+
+    def test_uninitialized_dominates(self):
+        for a in Logic9.VALUES:
+            assert Logic9.resolve("U", a) == "U"
+
+    def test_high_impedance_is_identity(self):
+        for a in Logic9.VALUES:
+            if a == "-":
+                continue  # don't-care resolves to X, not itself
+            assert Logic9.resolve("Z", a) == a
+
+    def test_strong_beats_weak(self):
+        assert Logic9.resolve("0", "H") == "0"
+        assert Logic9.resolve("1", "L") == "1"
+        assert Logic9.resolve("L", "H") == "W"
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", ["U", "W", "q", "", "01", "Z"])
+    def test_logic4_validate_rejects(self, bad):
+        with pytest.raises(ValueError):
+            Logic4.validate(bad)
+
+    @pytest.mark.parametrize("good", list(V4))
+    def test_logic4_validate_accepts(self, good):
+        assert Logic4.validate(good) == good
+
+    @pytest.mark.parametrize("bad", ["x", "z", "q", ""])
+    def test_logic9_validate_rejects(self, bad):
+        with pytest.raises(ValueError):
+            Logic9.validate(bad)
